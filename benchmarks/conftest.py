@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+One session-scoped :class:`ExperimentHarness` backs every benchmark so
+traces, baselines, and per-design runs are simulated once and reused
+across figures.  ``REPRO_BENCH_REQUESTS`` / ``REPRO_BENCH_WARMUP``
+environment variables scale the measured window for quicker smoke runs or
+longer, tighter-confidence sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import ExperimentConfig, ExperimentHarness
+
+DEFAULT_REQUESTS = 50_000
+DEFAULT_WARMUP = 30_000
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    """The shared experiment harness (session-wide caches)."""
+    ARTIFACT_LOG.write_text("")  # fresh artifact log per suite run
+    config = ExperimentConfig(
+        requests=_env_int("REPRO_BENCH_REQUESTS", DEFAULT_REQUESTS),
+        warmup=_env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP),
+    )
+    return ExperimentHarness(config)
+
+
+ARTIFACT_LOG = Path(__file__).resolve().parent.parent / \
+    "bench_artifacts.txt"
+
+
+def emit(title: str, body: str) -> None:
+    """Print a paper-artefact table and persist it to the artifact log.
+
+    pytest captures stdout unless run with ``-s``; the log file keeps the
+    regenerated tables available either way (one file per suite run —
+    truncated by the session-scoped harness fixture).
+    """
+    text = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}"
+    print(text)
+    with open(ARTIFACT_LOG, "a") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,38 @@
+"""Table II — benchmark characteristics (MPKI and footprint).
+
+Verifies the synthetic workload generator reproduces the paper's Table II
+characterisation: each benchmark's measured MPKI matches its target, the
+MPKI groups order correctly, and the scaled footprints preserve the
+paper's footprint:memory ratios (roms and cam4 overflow off-chip DRAM).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.analysis import format_table2
+from repro.traces import MPKI_GROUPS, SPEC2017
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_benchmarks(benchmark, harness):
+    rows = benchmark.pedantic(harness.table2_characteristics,
+                              rounds=1, iterations=1)
+    emit("Table II", format_table2(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+    assert len(rows) == 14
+    for name, spec in SPEC2017.items():
+        measured = by_name[name]["mpki_measured"]
+        assert measured == pytest.approx(spec.mpki, rel=0.05), name
+
+    # Group ordering: every high-MPKI benchmark above every low one.
+    low = max(by_name[n]["mpki_measured"] for n in MPKI_GROUPS["low"])
+    high = min(by_name[n]["mpki_measured"] for n in MPKI_GROUPS["high"])
+    assert high > low
+
+    # Footprint pressure survives scaling: roms/cam4 exceed off-chip DRAM.
+    dram_mb = harness.dram_config.geometry.capacity_bytes / (1 << 20)
+    for name in ("roms", "cam4"):
+        assert by_name[name]["footprint_configured_mb"] > dram_mb

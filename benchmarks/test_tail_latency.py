@@ -1,0 +1,58 @@
+"""Tail-latency comparison — beyond the paper's mean-IPC lens.
+
+Average IPC hides the latency distribution; tail latency is what
+latency-critical co-runners feel.  This bench reports p50/p95/p99 of the
+per-request critical-path latency for each design over a latency-
+sensitive workload mix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.baselines import make_controller
+from repro.sim import SimulationDriver
+
+DESIGNS = ("No-HBM", "AlloyCache", "Chameleon", "Hybrid2", "Meta-H",
+           "Bumblebee")
+WORKLOAD = "xalancbmk"  # pointer-chasing, latency-bound
+
+
+def measure(harness):
+    driver = SimulationDriver(harness.config.cpu)
+    out = {}
+    for design in DESIGNS:
+        controller = make_controller(
+            design, harness.hbm_config, harness.dram_config,
+            sram_bytes=harness.config.scale.sram_bytes)
+        result = driver.run(controller, harness.trace(WORKLOAD),
+                            workload=WORKLOAD,
+                            warmup=harness.config.warmup)
+        out[design] = {
+            "p50": result.latency_percentile(50),
+            "p95": result.latency_percentile(95),
+            "p99": result.latency_percentile(99),
+            "mean": result.avg_latency_ns,
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="latency")
+def test_tail_latency(benchmark, harness):
+    results = benchmark.pedantic(measure, args=(harness,),
+                                 rounds=1, iterations=1)
+    lines = [f"{'design':>11} {'mean':>7} {'p50<=':>7} {'p95<=':>7} "
+             f"{'p99<=':>7}  (ns)"]
+    for design, row in results.items():
+        lines.append(f"{design:>11} {row['mean']:7.1f} {row['p50']:7.0f} "
+                     f"{row['p95']:7.0f} {row['p99']:7.0f}")
+    emit(f"Tail latency on {WORKLOAD}", "\n".join(lines))
+
+    # Bumblebee improves the median against the no-HBM baseline.
+    assert results["Bumblebee"]["p50"] <= results["No-HBM"]["p50"]
+    # Percentiles are monotone by construction.
+    for row in results.values():
+        assert row["p50"] <= row["p95"] <= row["p99"]
+    # Meta-H's HBM metadata round trip shows up in the median.
+    assert results["Meta-H"]["p50"] >= results["Bumblebee"]["p50"]

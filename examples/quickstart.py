@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: build the Table I system and race Bumblebee against DDR4.
+
+Constructs the paper's memory system (scaled 1/32 so it runs in seconds),
+prints the device configuration, replays one SPEC-like miss stream through
+the no-HBM baseline and through Bumblebee, and reports the speedup plus
+the controller's view of what it did with the stack.
+
+Run:
+    python examples/quickstart.py [workload] [requests]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    DEFAULT_SCALE,
+    BumblebeeController,
+    SimulationDriver,
+    ddr4_3200_config,
+    hbm2_config,
+    workload_trace,
+)
+from repro.baselines import NoHBMController
+from repro.core import WayMode
+
+
+def describe(device_config) -> str:
+    g = device_config.geometry
+    return (f"{device_config.name}: {g.capacity_bytes >> 20} MiB, "
+            f"{g.channels} x {g.bus_bits}-bit channels, "
+            f"{device_config.peak_bandwidth_gbs:.0f} GB/s peak")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    requests = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
+
+    hbm = hbm2_config(DEFAULT_SCALE.hbm_bytes)
+    dram = ddr4_3200_config(DEFAULT_SCALE.dram_bytes)
+    print("System (Table I, scaled 1/32):")
+    print(" ", describe(hbm))
+    print(" ", describe(dram))
+
+    trace = workload_trace(workload, requests)
+    driver = SimulationDriver()
+
+    baseline = driver.run(NoHBMController(dram), trace, workload=workload)
+    bumblebee = BumblebeeController(hbm, dram)
+    result = driver.run(bumblebee, trace, workload=workload)
+
+    print(f"\nWorkload: {workload} ({requests} LLC misses)")
+    print(f"  no-HBM IPC      : {baseline.ipc:.3f}")
+    print(f"  Bumblebee IPC   : {result.ipc:.3f}"
+          f"  ({result.normalised_ipc(baseline):.2f}x)")
+    print(f"  HBM hit rate    : {result.hbm_hit_rate:.1%}")
+    print(f"  avg latency     : {result.avg_latency_ns:.1f} ns "
+          f"(baseline {baseline.avg_latency_ns:.1f} ns)")
+    print(f"  metadata budget : {result.metadata_bytes / 1024:.1f} KB "
+          f"(SRAM-resident: {bumblebee.metadata_in_sram()})")
+
+    chbm = sum(b.count_mode(WayMode.CHBM) for b in bumblebee.ble)
+    mhbm = sum(b.count_mode(WayMode.MHBM) for b in bumblebee.ble)
+    total = bumblebee.geometry.sets * bumblebee.geometry.hbm_ways
+    print(f"  final HBM usage : {mhbm} mHBM pages / {chbm} cHBM pages "
+          f"/ {total - mhbm - chbm} free "
+          f"(ratio chosen at runtime, per set)")
+
+
+if __name__ == "__main__":
+    main()

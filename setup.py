@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` to build a PEP 660 editable install; this
+offline environment lacks it, so `python setup.py develop` (or this shim via
+pip's legacy path) installs the package instead.  Configuration lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""Measurement campaigns: a resumable design x workload result matrix.
+
+A campaign runs every (design, workload) cell of a study, persists each
+result to a JSON file as soon as it lands, and skips already-present
+cells on re-run — so a long study survives interruption, and adding one
+design later costs only its own column.  The stored records are plain
+dicts (schema below), loadable without this package.
+
+Record schema (one per cell)::
+
+    {
+      "design": "Bumblebee", "workload": "mcf",
+      "norm_ipc": 1.84, "norm_hbm_traffic": 1.2, ...
+      "config": {"requests": 50000, "warmup": 30000, "seed": 1234,
+                  "scale": 0.03125}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .experiments import ExperimentHarness
+from .metrics import WorkloadComparison
+
+
+def _cell_key(design: str, workload: str) -> str:
+    return f"{design}::{workload}"
+
+
+def _comparison_record(comparison: WorkloadComparison,
+                       harness: ExperimentHarness) -> dict:
+    record = dataclasses.asdict(comparison)
+    record["config"] = {
+        "requests": harness.config.requests,
+        "warmup": harness.config.warmup,
+        "seed": harness.config.seed,
+        "scale": harness.config.scale.factor,
+    }
+    return record
+
+
+class Campaign:
+    """A persisted, resumable result matrix.
+
+    Args:
+        harness: The shared experiment harness.
+        path: JSON file holding the accumulated records.
+    """
+
+    def __init__(self, harness: ExperimentHarness,
+                 path: str | Path) -> None:
+        self.harness = harness
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        if self.path.exists():
+            for record in json.loads(self.path.read_text() or "[]"):
+                self._records[_cell_key(record["design"],
+                                        record["workload"])] = record
+
+    @property
+    def completed_cells(self) -> int:
+        return len(self._records)
+
+    def has(self, design: str, workload: str) -> bool:
+        return _cell_key(design, workload) in self._records
+
+    def run(self, designs: Sequence[str],
+            workloads: Sequence[str]) -> int:
+        """Fill every missing cell; returns the number of new runs."""
+        new_runs = 0
+        for design in designs:
+            for workload in workloads:
+                if self.has(design, workload):
+                    continue
+                comparison = self.harness.run_design(design, workload)
+                self._records[_cell_key(design, workload)] = \
+                    _comparison_record(comparison, self.harness)
+                new_runs += 1
+                self._flush()
+        return new_runs
+
+    def _flush(self) -> None:
+        self.path.write_text(json.dumps(list(self._records.values()),
+                                        indent=1))
+
+    # ---- views ----------------------------------------------------------
+
+    def matrix(self, metric: str = "norm_ipc") -> dict[str, dict[str,
+                                                                 float]]:
+        """design -> workload -> metric value for completed cells.
+
+        Raises:
+            KeyError: for a metric absent from the records.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for record in self._records.values():
+            out.setdefault(record["design"], {})[record["workload"]] = \
+                record[metric]
+        return out
+
+    def render(self, metric: str = "norm_ipc") -> str:
+        """Text table of the matrix (designs x workloads)."""
+        matrix = self.matrix(metric)
+        if not matrix:
+            return "(campaign empty)"
+        workloads = sorted({w for row in matrix.values() for w in row})
+        lines = [f"{'design':>12} " + " ".join(f"{w[:7]:>7}"
+                                               for w in workloads)]
+        for design in sorted(matrix):
+            cells = []
+            for workload in workloads:
+                value = matrix[design].get(workload)
+                cells.append(f"{value:7.2f}" if value is not None
+                             else f"{'-':>7}")
+            lines.append(f"{design:>12} " + " ".join(cells))
+        return "\n".join(lines)
+
+
+def run_campaign(harness: ExperimentHarness, path: str | Path,
+                 designs: Sequence[str],
+                 workloads: Sequence[str]) -> Campaign:
+    """Convenience wrapper: open (or resume) and fill a campaign."""
+    campaign = Campaign(harness, path)
+    campaign.run(designs, workloads)
+    return campaign

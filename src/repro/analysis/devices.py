@@ -1,0 +1,103 @@
+"""Device-level analysis: row-buffer behaviour and achieved bandwidth.
+
+Complements the controller-level metrics with the substrate's view of a
+run: how row-friendly each design's access pattern was on each memory,
+what share of peak bandwidth it sustained, and how the traffic split
+between demand and movement.  Useful for explaining *why* a design's
+latency looks the way it does (e.g. page-granularity designs convert
+scattered row conflicts into streaming row hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..baselines.base import HybridMemoryController
+    from ..mem.device import MemoryDevice
+    from ..sim.driver import SimResult
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Substrate statistics of one device over one run."""
+
+    name: str
+    row_hits: int
+    row_closed: int
+    row_conflicts: int
+    read_bytes: int
+    write_bytes: int
+    achieved_gbs: float
+    peak_gbs: float
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_closed + self.row_conflicts
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def utilisation(self) -> float:
+        return self.achieved_gbs / self.peak_gbs if self.peak_gbs else 0.0
+
+
+def device_report(device: "MemoryDevice",
+                  elapsed_ns: float) -> DeviceReport:
+    """Summarise one device after a run.
+
+    Raises:
+        ValueError: for a non-positive elapsed time.
+    """
+    if elapsed_ns <= 0:
+        raise ValueError("elapsed time must be positive")
+    stats = device.row_buffer_stats()
+    traffic = device.traffic()
+    achieved = traffic.total_bytes / elapsed_ns  # bytes/ns == GB/s
+    return DeviceReport(
+        name=device.name,
+        row_hits=stats["hits"],
+        row_closed=stats["closed"],
+        row_conflicts=stats["conflicts"],
+        read_bytes=traffic.read_bytes,
+        write_bytes=traffic.write_bytes,
+        achieved_gbs=achieved,
+        peak_gbs=device.config.peak_bandwidth_gbs,
+    )
+
+
+def controller_device_reports(controller: "HybridMemoryController",
+                              result: "SimResult"
+                              ) -> dict[str, DeviceReport]:
+    """Reports for both memories of a finished controller run."""
+    out = {"dram": device_report(controller.dram, result.elapsed_ns)}
+    if controller.hbm is not None:
+        out["hbm"] = device_report(controller.hbm, result.elapsed_ns)
+    return out
+
+
+def format_device_reports(reports: Mapping[str, Mapping[str,
+                                                        DeviceReport]]
+                          ) -> str:
+    """Render per-design device reports as a text table.
+
+    Args:
+        reports: design name -> {"hbm"/"dram" -> DeviceReport}.
+    """
+    lines = [f"{'design':>12} {'device':>10} {'rowhit':>7} {'GB/s':>7} "
+             f"{'util':>6} {'rd MB':>7} {'wr MB':>7}"]
+    for design, by_device in reports.items():
+        for key in ("hbm", "dram"):
+            report = by_device.get(key)
+            if report is None:
+                continue
+            lines.append(
+                f"{design:>12} {report.name:>10} "
+                f"{report.row_hit_rate:7.1%} {report.achieved_gbs:7.2f} "
+                f"{report.utilisation:6.1%} "
+                f"{report.read_bytes / (1 << 20):7.1f} "
+                f"{report.write_bytes / (1 << 20):7.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Terminal plotting: bar charts and heat strips without matplotlib.
+
+The evaluation artefacts are small tables of factors; plain-text plots
+make orderings legible in CI logs, SSH sessions, and the CLI without any
+plotting dependency.  All functions return strings (the caller prints).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+FULL_BLOCK = "#"
+SHADES = " .:-=+*#%@"
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40,
+              title: str | None = None, unit: str = "",
+              baseline: float | None = None) -> str:
+    """Horizontal bar chart of labelled values.
+
+    Args:
+        values: Label -> value (non-negative).
+        width: Character width of the longest bar.
+        title: Optional heading.
+        unit: Suffix rendered after each value.
+        baseline: When given, a ``|`` marker is drawn at this value
+            (e.g. 1.0 for normalised metrics).
+
+    Raises:
+        ValueError: on empty input or negative values.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    peak = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    marker_col = (round(baseline / peak * width)
+                  if baseline is not None and baseline <= peak else None)
+    for label, value in values.items():
+        length = round(value / peak * width)
+        bar = FULL_BLOCK * length
+        if marker_col is not None and marker_col <= width:
+            padded = list(bar.ljust(width))
+            if 0 <= marker_col < width and padded[marker_col] != FULL_BLOCK:
+                padded[marker_col] = "|"
+            bar = "".join(padded).rstrip()
+        lines.append(f"{label:>{label_width}} {bar:<{width}} "
+                     f"{value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def heat_strip(samples: Sequence[float], width: int | None = None,
+               lo: float | None = None, hi: float | None = None) -> str:
+    """Render a 1-D series as a shaded strip (e.g. hit rate over time).
+
+    Values map linearly onto ten shade characters; ``lo``/``hi`` pin the
+    scale (defaults to the sample range).
+
+    Raises:
+        ValueError: on empty input.
+    """
+    if not samples:
+        raise ValueError("heat_strip needs at least one sample")
+    lo = min(samples) if lo is None else lo
+    hi = max(samples) if hi is None else hi
+    span = (hi - lo) or 1.0
+    cells = []
+    for sample in samples:
+        norm = min(1.0, max(0.0, (sample - lo) / span))
+        cells.append(SHADES[round(norm * (len(SHADES) - 1))])
+    strip = "".join(cells)
+    if width is not None and len(strip) > width:
+        # Downsample by averaging buckets.
+        bucket = len(samples) / width
+        resampled = []
+        for i in range(width):
+            start = int(i * bucket)
+            end = max(start + 1, int((i + 1) * bucket))
+            chunk = samples[start:end]
+            norm = min(1.0, max(0.0,
+                                (sum(chunk) / len(chunk) - lo) / span))
+            resampled.append(SHADES[round(norm * (len(SHADES) - 1))])
+        strip = "".join(resampled)
+    return f"[{strip}] {lo:.2f}..{hi:.2f}"
+
+
+def grouped_bars(results: Mapping[str, Mapping[str, float]],
+                 groups: Sequence[str], width: int = 24,
+                 title: str | None = None) -> str:
+    """Side-by-side group values per series (a Figure 8 panel in text).
+
+    Args:
+        results: Series label -> {group -> value}.
+        groups: Group order.
+    """
+    if not results:
+        raise ValueError("grouped_bars needs at least one series")
+    peak = max(v for by_group in results.values()
+               for v in by_group.values()) or 1.0
+    label_width = max(len(label) for label in results)
+    lines = [title] if title else []
+    header = " " * (label_width + 1) + " ".join(f"{g:>{width // 3}}"
+                                                for g in groups)
+    lines.append(header)
+    for label, by_group in results.items():
+        cells = []
+        for group in groups:
+            value = by_group.get(group)
+            if value is None:
+                cells.append(f"{'-':>{width // 3}}")
+            else:
+                cells.append(f"{value:>{width // 3}.2f}")
+        lines.append(f"{label:>{label_width}} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def sparkline(samples: Sequence[float]) -> str:
+    """A compact unicode-free sparkline using the shade ramp."""
+    return heat_strip(samples).split("]")[0] + "]"

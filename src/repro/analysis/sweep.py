@@ -1,0 +1,56 @@
+"""Generic parameter-sweep machinery for ablations beyond the paper.
+
+The Figure 6/7 experiments fix most knobs; :func:`sweep_bumblebee` lets a
+user sweep *any* :class:`BumblebeeConfig` field (associativity, hot-queue
+depth, zombie patience, the "most blocks" switch threshold, ...) and get
+the geomean speedup for each value — the tooling behind the ablation
+benches in ``benchmarks/test_ablations.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Sequence
+
+from ..core.config import BumblebeeConfig
+from .experiments import ExperimentHarness
+from .metrics import geomean_speedup
+
+
+def config_with(base: BumblebeeConfig, **overrides: Any) -> BumblebeeConfig:
+    """A copy of ``base`` with the given fields replaced.
+
+    Raises:
+        TypeError: for an unknown field name.
+    """
+    return dataclasses.replace(base, **overrides)
+
+
+def sweep_bumblebee(harness: ExperimentHarness, field: str,
+                    values: Iterable[Any],
+                    workloads: Sequence[str] | None = None,
+                    base: BumblebeeConfig | None = None
+                    ) -> dict[Any, float]:
+    """Geomean speedup of Bumblebee for each value of one config field.
+
+    Args:
+        harness: The shared experiment harness (traces/baselines cached).
+        field: Name of a :class:`BumblebeeConfig` dataclass field.
+        values: Values to sweep.
+        workloads: Workload subset (defaults to the harness's full list).
+        base: Starting configuration for the non-swept fields.
+
+    Returns:
+        Mapping from swept value to geomean normalised IPC.
+    """
+    base = base or BumblebeeConfig()
+    chosen = list(workloads or harness.config.workloads)
+    out: dict[Any, float] = {}
+    for value in values:
+        config = config_with(base, **{field: value})
+        comparisons = [
+            harness.run_bumblebee(config, workload,
+                                  name=f"bee-{field}={value}")
+            for workload in chosen]
+        out[value] = geomean_speedup(comparisons)
+    return out

@@ -1,0 +1,134 @@
+"""Shape validation: paper claims vs measured results.
+
+Every figure in the paper implies qualitative *shape* claims (who wins,
+where, by roughly what factor).  This module encodes those claims as
+checkable predicates over harness outputs and renders a pass/fail report
+— the machine-readable core of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .metrics import GroupSummary
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim derived from the paper."""
+
+    artefact: str
+    claim: str
+    passed: bool
+    measured: str
+
+    def render(self) -> str:
+        status = "PASS" if self.passed else "MISS"
+        return f"[{status}] {self.artefact}: {self.claim} ({self.measured})"
+
+
+def check_figure8(results: Mapping[str, Mapping[str, GroupSummary]]
+                  ) -> list[ShapeCheck]:
+    """Shape claims of Figures 8(a)-(d)."""
+    checks: list[ShapeCheck] = []
+    bee = results["Bumblebee"]
+
+    best_other = max(
+        (name for name in results if name != "Bumblebee"),
+        key=lambda name: results[name]["all"].norm_ipc)
+    margin = bee["all"].norm_ipc / results[best_other]["all"].norm_ipc
+    checks.append(ShapeCheck(
+        "Fig8a", "Bumblebee has the best overall normalised IPC",
+        margin >= 0.98,
+        f"{bee['all'].norm_ipc:.2f} vs {best_other} "
+        f"{results[best_other]['all'].norm_ipc:.2f}"))
+
+    checks.append(ShapeCheck(
+        "Fig8a", "gains concentrate in the high-MPKI group",
+        bee["high"].norm_ipc > bee["low"].norm_ipc,
+        f"high {bee['high'].norm_ipc:.2f} vs low "
+        f"{bee['low'].norm_ipc:.2f}"))
+
+    checks.append(ShapeCheck(
+        "Fig8a", "Unison is the weakest design",
+        results["UnisonCache"]["all"].norm_ipc
+        <= min(r["all"].norm_ipc for r in results.values()) + 0.05,
+        f"Unison {results['UnisonCache']['all'].norm_ipc:.2f}"))
+
+    checks.append(ShapeCheck(
+        "Fig8b", "Bumblebee's HBM traffic below Hybrid2's x1.6",
+        bee["all"].norm_hbm_traffic
+        < results["Hybrid2"]["all"].norm_hbm_traffic * 1.6,
+        f"{bee['all'].norm_hbm_traffic:.2f} vs Hybrid2 "
+        f"{results['Hybrid2']['all'].norm_hbm_traffic:.2f}"))
+
+    checks.append(ShapeCheck(
+        "Fig8c", "POM designs cut off-chip traffic below baseline",
+        results["Chameleon"]["all"].norm_dram_traffic < 1.0,
+        f"Chameleon {results['Chameleon']['all'].norm_dram_traffic:.2f}"))
+
+    checks.append(ShapeCheck(
+        "Fig8d", "Bumblebee beats the tag-in-HBM designs on energy",
+        bee["all"].norm_energy
+        < min(results["AlloyCache"]["all"].norm_energy,
+              results["UnisonCache"]["all"].norm_energy),
+        f"{bee['all'].norm_energy:.2f} vs AC "
+        f"{results['AlloyCache']['all'].norm_energy:.2f} / UC "
+        f"{results['UnisonCache']['all'].norm_energy:.2f}"))
+    return checks
+
+
+def check_figure7(results: Mapping[str, float]) -> list[ShapeCheck]:
+    """Shape claims of Figure 7."""
+    bee = results["Bumblebee"]
+    partitioning = [v for k, v in results.items() if k != "Meta-H"]
+    checks = [
+        ShapeCheck("Fig7", "C-Only is the weakest partitioning variant",
+                   results["C-Only"] <= min(partitioning) + 0.02,
+                   f"C-Only {results['C-Only']:.2f}"),
+        ShapeCheck("Fig7", "M-Only beats C-Only",
+                   results["M-Only"] > results["C-Only"],
+                   f"{results['M-Only']:.2f} vs {results['C-Only']:.2f}"),
+        ShapeCheck("Fig7", "Meta-H pays a metadata-latency penalty",
+                   results["Meta-H"] < bee * 0.9,
+                   f"Meta-H {results['Meta-H']:.2f} vs {bee:.2f}"),
+        ShapeCheck("Fig7", "full Bumblebee is the (tied-)top bar",
+                   bee >= max(results.values()) * 0.97,
+                   f"Bumblebee {bee:.2f} vs max "
+                   f"{max(results.values()):.2f}"),
+    ]
+    return checks
+
+
+def check_overfetch(results: Mapping[str, float]) -> list[ShapeCheck]:
+    """§IV-B over-fetch parity claim."""
+    return [ShapeCheck(
+        "SIV-B", "Bumblebee's over-fetch stays near fine-grained "
+        "Hybrid2's despite 8x/32x larger granularity",
+        results["Bumblebee"] < 0.3,
+        f"Bumblebee {results['Bumblebee']:.1%} vs Hybrid2 "
+        f"{results['Hybrid2']:.1%}")]
+
+
+def check_metadata(report: Mapping) -> list[ShapeCheck]:
+    """§IV-B metadata claims."""
+    sizes = report["bumblebee"]
+    return [
+        ShapeCheck("SIV-B", "metadata fits the 512KB SRAM budget",
+                   report["bumblebee_fits_sram"],
+                   f"{sizes.total_bytes / 1024:.0f}KB"),
+        ShapeCheck("SIV-B", "1-2 orders of magnitude below prior designs",
+                   report["hybrid2_bytes"] > 10 * sizes.total_bytes
+                   and report["alloy_bytes"] > 10 * sizes.total_bytes,
+                   f"Hybrid2 {report['hybrid2_bytes'] >> 10}KB, "
+                   f"Alloy {report['alloy_bytes'] >> 10}KB"),
+    ]
+
+
+def render_report(checks: list[ShapeCheck]) -> str:
+    """Human-readable pass/fail summary."""
+    passed = sum(1 for c in checks if c.passed)
+    lines = [c.render() for c in checks]
+    lines.append(f"-- {passed}/{len(checks)} shape claims reproduced")
+    return "\n".join(lines)

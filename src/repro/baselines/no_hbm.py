@@ -1,0 +1,27 @@
+"""The normalisation baseline: a system with no die-stacked HBM.
+
+Every figure in the paper's evaluation is normalised to "a baseline system
+without HBM" (§IV-A): all requests go to off-chip DDR4, addresses map
+modulo the module capacity, and no metadata exists.
+"""
+
+from __future__ import annotations
+
+from ..mem.timing import DeviceConfig
+from ..sim.request import AccessResult, MemoryRequest
+from .base import HybridMemoryController
+
+
+class NoHBMController(HybridMemoryController):
+    """Off-chip DRAM only — the denominator of every normalised metric."""
+
+    def __init__(self, dram_config: DeviceConfig,
+                 name: str = "No-HBM") -> None:
+        super().__init__(hbm_config=None, dram_config=dram_config, name=name)
+
+    def access(self, request: MemoryRequest, now_ns: float) -> AccessResult:
+        return self._demand_dram(request.addr, request, now_ns)
+
+    def os_visible_bytes(self) -> int:
+        """The stack is a cache (or absent): the OS sees only DRAM."""
+        return self.dram.capacity_bytes

@@ -1,0 +1,64 @@
+"""Static-partition variants of the Bumblebee machinery (Figure 7).
+
+These reuse :class:`~repro.core.hmmc.BumblebeeController` with a pinned
+cHBM:mHBM way split, so the comparison isolates *adaptivity* from the rest
+of the design:
+
+* **C-Only** — every HBM way is cache-only (a pure cHBM design at
+  Bumblebee's granularity);
+* **M-Only** — every way is POM-only (a pure mHBM design);
+* **25%-C / 50%-C** — KNL-style fixed hybrid splits.
+"""
+
+from __future__ import annotations
+
+from ..core.config import BumblebeeConfig
+from ..core.hmmc import BumblebeeController
+from ..mem.timing import DeviceConfig
+
+
+def _fixed(hbm_config: DeviceConfig, dram_config: DeviceConfig,
+           chbm_ways: int, name: str,
+           base: BumblebeeConfig | None = None) -> BumblebeeController:
+    base = base or BumblebeeConfig()
+    config = BumblebeeConfig(
+        page_bytes=base.page_bytes,
+        block_bytes=base.block_bytes,
+        hbm_ways=base.hbm_ways,
+        hot_queue_dram_entries=base.hot_queue_dram_entries,
+        most_blocks_fraction=base.most_blocks_fraction,
+        zombie_patience=base.zombie_patience,
+        hmf_batch_sets=base.hmf_batch_sets,
+        hmf_cooldown_requests=base.hmf_cooldown_requests,
+        multiplexed=base.multiplexed,
+        hmf_enabled=base.hmf_enabled,
+        metadata_in_hbm=base.metadata_in_hbm,
+        allocation=base.allocation,
+        fixed_chbm_ways=chbm_ways,
+        counter_bits=base.counter_bits,
+    )
+    return BumblebeeController(hbm_config, dram_config, config, name=name)
+
+
+def c_only(hbm_config: DeviceConfig,
+           dram_config: DeviceConfig) -> BumblebeeController:
+    """All HBM as DRAM cache (C-Only bar of Figure 7)."""
+    return _fixed(hbm_config, dram_config,
+                  chbm_ways=BumblebeeConfig().hbm_ways, name="C-Only")
+
+
+def m_only(hbm_config: DeviceConfig,
+           dram_config: DeviceConfig) -> BumblebeeController:
+    """All HBM as OS-visible POM (M-Only bar of Figure 7)."""
+    return _fixed(hbm_config, dram_config, chbm_ways=0, name="M-Only")
+
+
+def fixed_chbm(hbm_config: DeviceConfig, dram_config: DeviceConfig,
+               fraction: float) -> BumblebeeController:
+    """A KNL-style static split with ``fraction`` of HBM as cHBM."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ways = BumblebeeConfig().hbm_ways
+    chbm_ways = round(ways * fraction)
+    return _fixed(hbm_config, dram_config, chbm_ways=chbm_ways,
+                  name=f"{int(fraction * 100)}%-C")

@@ -1,0 +1,36 @@
+"""SRAM cache hierarchy models and line-utilisation characterisation."""
+
+from .cache import CacheAccessOutcome, CacheLine, SetAssociativeCache
+from .hierarchy import CacheHierarchy, HierarchyConfig
+from .replacement import (
+    DRRIPPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
+from .utilisation import (
+    FIG1_BUCKET_BOUNDS,
+    FIG1_LINE_SIZES,
+    LineUtilisationAnalyzer,
+    UtilisationResult,
+    characterise,
+)
+
+__all__ = [
+    "CacheAccessOutcome",
+    "CacheLine",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "SRRIPPolicy",
+    "DRRIPPolicy",
+    "make_policy",
+    "LineUtilisationAnalyzer",
+    "UtilisationResult",
+    "characterise",
+    "FIG1_BUCKET_BOUNDS",
+    "FIG1_LINE_SIZES",
+]

@@ -1,0 +1,148 @@
+"""A generic set-associative cache model.
+
+Used three ways in the reproduction: (1) as the SRAM L1/L2/LLC levels that
+turn raw access streams into LLC-miss streams, (2) as the 1GB cHBM model
+behind the Figure 1 line-utilisation study, and (3) as building material for
+baseline DRAM-cache controllers that need plain tag arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheLine:
+    """One cache line's tag state."""
+
+    tag: int = -1
+    valid: bool = False
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class CacheAccessOutcome:
+    """Result of one cache access.
+
+    Attributes:
+        hit: True on a tag match.
+        evicted_addr: Base address of the line displaced by the fill, or
+            None when an invalid way absorbed the fill (or on a hit).
+        evicted_dirty: True when the displaced line required a writeback.
+    """
+
+    hit: bool
+    evicted_addr: Optional[int] = None
+    evicted_dirty: bool = False
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate, set-associative cache.
+
+    Args:
+        capacity_bytes: Total data capacity.
+        line_bytes: Line (block) size.
+        ways: Associativity; must divide the number of lines.
+        policy: Replacement policy name or instance.
+        name: Label used in statistics.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int, ways: int,
+                 policy: str | ReplacementPolicy = "lru",
+                 name: str = "cache") -> None:
+        if capacity_bytes % line_bytes != 0:
+            raise ValueError("capacity must be a multiple of the line size")
+        lines = capacity_bytes // line_bytes
+        if lines % ways != 0:
+            raise ValueError("line count must be a multiple of ways")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = lines // ways
+        self._policy = (policy if isinstance(policy, ReplacementPolicy)
+                        else make_policy(policy))
+        self._lines = [[CacheLine() for _ in range(ways)]
+                       for _ in range(self.sets)]
+        self._states = [self._policy.new_set_state(ways)
+                        for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line_index = addr // self.line_bytes
+        return line_index % self.sets, line_index // self.sets
+
+    def line_base(self, addr: int) -> int:
+        """Base address of the line containing ``addr``."""
+        return (addr // self.line_bytes) * self.line_bytes
+
+    def probe(self, addr: int) -> bool:
+        """Tag check without side effects."""
+        set_index, tag = self._locate(addr)
+        return any(line.valid and line.tag == tag
+                   for line in self._lines[set_index])
+
+    def access(self, addr: int, is_write: bool = False) -> CacheAccessOutcome:
+        """Access ``addr``; on a miss, allocate and report any eviction."""
+        set_index, tag = self._locate(addr)
+        ways = self._lines[set_index]
+        state = self._states[set_index]
+        for way, line in enumerate(ways):
+            if line.valid and line.tag == tag:
+                self.hits += 1
+                self._policy.on_hit(state, way)
+                if is_write:
+                    line.dirty = True
+                return CacheAccessOutcome(hit=True)
+        self.misses += 1
+        victim_way = None
+        for way, line in enumerate(ways):
+            if not line.valid:
+                victim_way = way
+                break
+        evicted_addr = None
+        evicted_dirty = False
+        if victim_way is None:
+            victim_way = self._policy.victim(state, set_index)
+            victim = ways[victim_way]
+            self.evictions += 1
+            evicted_dirty = victim.dirty
+            if victim.dirty:
+                self.writebacks += 1
+            evicted_addr = ((victim.tag * self.sets + set_index)
+                            * self.line_bytes)
+        line = ways[victim_way]
+        line.tag = tag
+        line.valid = True
+        line.dirty = is_write
+        self._policy.on_fill(state, victim_way, set_index)
+        return CacheAccessOutcome(hit=False, evicted_addr=evicted_addr,
+                                  evicted_dirty=evicted_dirty)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing ``addr``; True when it was present."""
+        set_index, tag = self._locate(addr)
+        for line in self._lines[set_index]:
+            if line.valid and line.tag == tag:
+                line.valid = False
+                line.dirty = False
+                return True
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(1 for ways in self._lines for line in ways if line.valid)

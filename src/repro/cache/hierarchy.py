@@ -1,0 +1,99 @@
+"""The Table I SRAM cache hierarchy and the LLC-miss filter.
+
+The paper's per-core L1/L2 and shared LLC (8MB, 16-way, DRRIP) sit between
+the cores and the hybrid memory controller.  The reproduction normally
+drives controllers with synthetic LLC-miss traces directly (DESIGN.md §1),
+but the full hierarchy is available both for end-to-end runs and for the
+characterisation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..sim.request import MemoryRequest
+from .cache import SetAssociativeCache
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Capacities/associativities of the three SRAM levels (Table I)."""
+
+    l1_bytes: int = 64 * KIB
+    l1_ways: int = 4
+    l2_bytes: int = 256 * KIB
+    l2_ways: int = 8
+    llc_bytes: int = 8 * MIB
+    llc_ways: int = 16
+    line_bytes: int = 64
+
+
+class CacheHierarchy:
+    """A three-level, non-inclusive, write-back SRAM hierarchy.
+
+    Misses propagate downwards; dirty evictions are written into the next
+    level (and LLC dirty evictions surface as writeback requests to memory).
+    """
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config or HierarchyConfig()
+        c = self.config
+        self.l1 = SetAssociativeCache(c.l1_bytes, c.line_bytes, c.l1_ways,
+                                      policy="lru", name="L1D")
+        self.l2 = SetAssociativeCache(c.l2_bytes, c.line_bytes, c.l2_ways,
+                                      policy="srrip", name="L2")
+        self.llc = SetAssociativeCache(c.llc_bytes, c.line_bytes, c.llc_ways,
+                                       policy="drrip", name="LLC")
+
+    def access(self, addr: int, is_write: bool = False
+               ) -> list[MemoryRequest]:
+        """Access the hierarchy; return memory requests reaching DRAM.
+
+        The returned list contains at most one demand miss plus any dirty
+        LLC writeback displaced along the way (icount fields are zero here;
+        the trace layer owns instruction accounting).
+        """
+        requests: list[MemoryRequest] = []
+        if self.l1.access(addr, is_write).hit:
+            return requests
+        l2_outcome = self.l2.access(addr, is_write)
+        if l2_outcome.evicted_dirty and l2_outcome.evicted_addr is not None:
+            self.llc.access(l2_outcome.evicted_addr, is_write=True)
+        if l2_outcome.hit:
+            return requests
+        llc_outcome = self.llc.access(addr, is_write)
+        if (llc_outcome.evicted_dirty
+                and llc_outcome.evicted_addr is not None):
+            requests.append(MemoryRequest(addr=llc_outcome.evicted_addr,
+                                          is_write=True, icount=0))
+        if not llc_outcome.hit:
+            requests.append(MemoryRequest(addr=self.llc.line_base(addr),
+                                          is_write=False, icount=0))
+        return requests
+
+    def llc_miss_stream(
+            self, accesses: Iterable[tuple[int, bool, int]]
+    ) -> Iterator[MemoryRequest]:
+        """Filter raw ``(addr, is_write, icount)`` accesses into LLC misses.
+
+        Instruction counts of hits accumulate onto the next miss so that
+        MPKI is preserved through the filter.
+        """
+        pending_icount = 0
+        for addr, is_write, icount in accesses:
+            pending_icount += icount
+            for request in self.access(addr, is_write):
+                yield MemoryRequest(addr=request.addr,
+                                    is_write=request.is_write,
+                                    icount=pending_icount)
+                pending_icount = 0
+
+    def mpki(self, instructions: int) -> float:
+        """LLC misses per kilo-instruction over the simulated window."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return self.llc.misses * 1000.0 / instructions

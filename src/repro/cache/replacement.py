@@ -1,0 +1,167 @@
+"""Replacement policies for set-associative SRAM caches.
+
+Table I of the paper specifies LRU for the L1s, SRRIP for the private L2,
+and DRRIP for the shared LLC; all three are implemented here behind one
+policy protocol.  Each policy owns its per-set metadata so the cache proper
+stays policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+
+class ReplacementPolicy(abc.ABC):
+    """Protocol for per-set replacement decisions.
+
+    A policy creates one opaque state object per cache set and is consulted
+    on every fill, hit, and victim selection.  ``way`` indices address lines
+    within one set.
+    """
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def new_set_state(self, ways: int) -> Any:
+        """Create fresh metadata for one set of ``ways`` lines."""
+
+    @abc.abstractmethod
+    def on_hit(self, state: Any, way: int) -> None:
+        """Update metadata after a hit on ``way``."""
+
+    @abc.abstractmethod
+    def on_fill(self, state: Any, way: int, set_index: int = 0) -> None:
+        """Update metadata after filling ``way``."""
+
+    @abc.abstractmethod
+    def victim(self, state: Any, set_index: int = 0) -> int:
+        """Choose the way to evict (every way is valid when called)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic least-recently-used ordering."""
+
+    name = "lru"
+
+    def new_set_state(self, ways: int) -> list[int]:
+        # state[i] = recency rank of way i; 0 == MRU
+        return list(range(ways))
+
+    def _touch(self, state: list[int], way: int) -> None:
+        old = state[way]
+        for i, rank in enumerate(state):
+            if rank < old:
+                state[i] = rank + 1
+        state[way] = 0
+
+    def on_hit(self, state: list[int], way: int) -> None:
+        self._touch(state, way)
+
+    def on_fill(self, state: list[int], way: int, set_index: int = 0) -> None:
+        self._touch(state, way)
+
+    def victim(self, state: list[int], set_index: int = 0) -> int:
+        return max(range(len(state)), key=lambda i: state[i])
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static re-reference interval prediction (2-bit RRPV).
+
+    Fills insert with a *long* re-reference prediction (RRPV = max-1); hits
+    promote to *near-immediate* (RRPV = 0); victims are lines predicted
+    *distant* (RRPV = max), aging the whole set until one appears.
+    """
+
+    name = "srrip"
+
+    def __init__(self, bits: int = 2) -> None:
+        if bits < 1:
+            raise ValueError("SRRIP needs at least one RRPV bit")
+        self.max_rrpv = (1 << bits) - 1
+
+    def new_set_state(self, ways: int) -> list[int]:
+        return [self.max_rrpv] * ways
+
+    def on_hit(self, state: list[int], way: int) -> None:
+        state[way] = 0
+
+    def on_fill(self, state: list[int], way: int, set_index: int = 0) -> None:
+        state[way] = self.max_rrpv - 1
+
+    def victim(self, state: list[int], set_index: int = 0) -> int:
+        while True:
+            for way, rrpv in enumerate(state):
+                if rrpv >= self.max_rrpv:
+                    return way
+            for way in range(len(state)):
+                state[way] += 1
+
+
+class DRRIPPolicy(ReplacementPolicy):
+    """Dynamic RRIP: set-dueling between SRRIP and bimodal insertion.
+
+    A small number of leader sets are pinned to each component policy; a
+    saturating selector (PSEL) trained by misses in the leader sets decides
+    the insertion mode for follower sets.  Bimodal insertion places most
+    fills at distant RRPV, only occasionally at long.
+    """
+
+    name = "drrip"
+
+    def __init__(self, bits: int = 2, psel_bits: int = 10,
+                 dueling_period: int = 32, bip_epsilon: int = 32) -> None:
+        self.max_rrpv = (1 << bits) - 1
+        self._psel = 1 << (psel_bits - 1)
+        self._psel_max = (1 << psel_bits) - 1
+        self._period = dueling_period
+        self._bip_epsilon = bip_epsilon
+        self._bip_counter = 0
+
+    def new_set_state(self, ways: int) -> list[int]:
+        return [self.max_rrpv] * ways
+
+    def _leader_kind(self, set_index: int) -> str:
+        slot = set_index % self._period
+        if slot == 0:
+            return "srrip"
+        if slot == 1:
+            return "bip"
+        return "follower"
+
+    def on_hit(self, state: list[int], way: int) -> None:
+        state[way] = 0
+
+    def on_fill(self, state: list[int], way: int, set_index: int = 0) -> None:
+        kind = self._leader_kind(set_index)
+        if kind == "srrip":
+            use_srrip = True
+            self._psel = min(self._psel_max, self._psel + 1)
+        elif kind == "bip":
+            use_srrip = False
+            self._psel = max(0, self._psel - 1)
+        else:
+            use_srrip = self._psel >= (self._psel_max + 1) // 2
+        if use_srrip:
+            state[way] = self.max_rrpv - 1
+        else:
+            self._bip_counter = (self._bip_counter + 1) % self._bip_epsilon
+            state[way] = (self.max_rrpv - 1 if self._bip_counter == 0
+                          else self.max_rrpv)
+
+    def victim(self, state: list[int], set_index: int = 0) -> int:
+        while True:
+            for way, rrpv in enumerate(state):
+                if rrpv >= self.max_rrpv:
+                    return way
+            for way in range(len(state)):
+                state[way] += 1
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Factory from a policy name (``lru``, ``srrip``, ``drrip``)."""
+    policies = {"lru": LRUPolicy, "srrip": SRRIPPolicy, "drrip": DRRIPPolicy}
+    try:
+        return policies[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}") from None

@@ -1,0 +1,257 @@
+"""Command-line interface for the Bumblebee reproduction.
+
+Usage (also via ``python -m repro``)::
+
+    repro run --design Bumblebee --workload mcf
+    repro compare --workloads mcf wrf --designs Bumblebee Chameleon
+    repro figure --id 8a
+    repro characterise --workload wrf
+    repro mix --preset mix-fig1 --design Bumblebee
+    repro metadata
+
+Every subcommand prints paper-style text tables; numeric knobs mirror
+:class:`~repro.analysis.experiments.ExperimentConfig`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import (
+    ExperimentConfig,
+    ExperimentHarness,
+    bar_chart,
+    check_figure7,
+    check_figure8,
+    check_metadata,
+    check_overfetch,
+    render_report,
+    format_figure1,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_metadata,
+    format_overfetch,
+    format_overheads,
+    format_table2,
+)
+from .baselines import FIGURE7_VARIANTS, FIGURE8_DESIGNS, make_controller
+from .sim import SimulationDriver
+from .traces import MIX_PRESETS, SPEC2017, build_mix, mix_trace
+
+
+def _add_window_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--requests", type=int, default=60_000,
+                        help="measured LLC misses per run")
+    parser.add_argument("--warmup", type=int, default=30_000,
+                        help="warm-up misses before measurement")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="trace generator seed")
+
+
+def _harness(args: argparse.Namespace,
+             workloads: Sequence[str] | None = None) -> ExperimentHarness:
+    config = ExperimentConfig(
+        requests=args.requests, warmup=args.warmup, seed=args.seed,
+        workloads=tuple(workloads) if workloads else tuple(SPEC2017))
+    return ExperimentHarness(config)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    harness = _harness(args, [args.workload])
+    comparison = harness.run_design(args.design, args.workload)
+    print(f"design            : {comparison.design}")
+    print(f"workload          : {comparison.workload}")
+    print(f"normalised IPC    : {comparison.norm_ipc:.3f}")
+    print(f"HBM hit rate      : {comparison.hbm_hit_rate:.1%}")
+    print(f"HBM traffic (x)   : {comparison.norm_hbm_traffic:.2f}")
+    print(f"DRAM traffic (x)  : {comparison.norm_dram_traffic:.2f}")
+    print(f"dynamic energy (x): {comparison.norm_energy:.2f}")
+    print(f"over-fetch        : {comparison.overfetch_fraction:.1%}")
+    print(f"page faults       : {comparison.page_faults}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    harness = _harness(args, args.workloads)
+    header = f"{'workload':>12} " + " ".join(f"{d[:10]:>10}"
+                                             for d in args.designs)
+    print(header)
+    for workload in args.workloads:
+        cells = []
+        for design in args.designs:
+            comparison = harness.run_design(design, workload)
+            cells.append(f"{comparison.norm_ipc:10.2f}")
+        print(f"{workload:>12} " + " ".join(cells))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    harness = _harness(args)
+    fig = args.id.lower()
+    if fig == "1":
+        print(format_figure1(harness.figure1_line_utilisation()))
+    elif fig == "6":
+        print(format_figure6(harness.figure6_design_space(
+            workloads=("mcf", "wrf", "xz", "lbm", "xalancbmk", "roms"))))
+    elif fig == "7":
+        print(format_figure7(harness.figure7_breakdown()))
+    elif fig in ("8a", "8b", "8c", "8d"):
+        metric = {"8a": "norm_ipc", "8b": "norm_hbm_traffic",
+                  "8c": "norm_dram_traffic", "8d": "norm_energy"}[fig]
+        print(format_figure8(harness.figure8_comparison(), metric))
+    elif fig == "table2":
+        print(format_table2(harness.table2_characteristics()))
+    elif fig == "overfetch":
+        print(format_overfetch(harness.sec4b_overfetch()))
+    elif fig == "overheads":
+        print(format_overheads(harness.sec4d_overheads()))
+    else:
+        print(f"unknown figure id {args.id!r}; valid: 1, 6, 7, 8a-8d, "
+              "table2, overfetch, overheads", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_characterise(args: argparse.Namespace) -> int:
+    harness = _harness(args, [args.workload])
+    results = harness.figure1_line_utilisation(workloads=(args.workload,))
+    print(format_figure1(results))
+    return 0
+
+
+def cmd_metadata(args: argparse.Namespace) -> int:
+    harness = _harness(args, ["mcf"])
+    print(format_metadata(harness.sec4b_metadata()))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Fill (or resume) a persisted design x workload result matrix."""
+    from .analysis import Campaign
+    harness = _harness(args, args.workloads)
+    campaign = Campaign(harness, args.out)
+    new_runs = campaign.run(args.designs, args.workloads)
+    print(f"campaign: {campaign.completed_cells} cells complete "
+          f"({new_runs} new) -> {args.out}\n")
+    print(campaign.render(args.metric))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Run the shape-claim validation suite; exit non-zero on misses."""
+    harness = _harness(args)
+    checks = []
+    figure8 = harness.figure8_comparison()
+    checks += check_figure8(figure8)
+    checks += check_figure7(harness.figure7_breakdown())
+    checks += check_overfetch(harness.sec4b_overfetch())
+    checks += check_metadata(harness.sec4b_metadata())
+    print(render_report(checks))
+    print()
+    print(bar_chart(
+        {design: groups["all"].norm_ipc
+         for design, groups in figure8.items()},
+        title="normalised IPC (all workloads)", baseline=1.0))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def cmd_mix(args: argparse.Namespace) -> int:
+    members = build_mix(MIX_PRESETS[args.preset])
+    trace = list(mix_trace(members, args.requests + args.warmup,
+                           seed=args.seed))
+    harness = _harness(args, ["mcf"])  # devices only
+    driver = SimulationDriver()
+    baseline = driver.run(
+        make_controller("No-HBM", harness.hbm_config, harness.dram_config),
+        trace, workload=args.preset, warmup=args.warmup)
+    controller = make_controller(
+        args.design, harness.hbm_config, harness.dram_config,
+        sram_bytes=harness.config.scale.sram_bytes)
+    result = driver.run(controller, trace, workload=args.preset,
+                        warmup=args.warmup)
+    print(f"mix               : {args.preset} "
+          f"({', '.join(m.spec.name for m in members)})")
+    print(f"design            : {args.design}")
+    print(f"normalised IPC    : {result.normalised_ipc(baseline):.3f}")
+    print(f"HBM hit rate      : {result.hbm_hit_rate:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bumblebee (DAC 2023) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one design on one workload")
+    run.add_argument("--design", default="Bumblebee",
+                     choices=sorted(set(FIGURE8_DESIGNS + FIGURE7_VARIANTS
+                                        + ["No-HBM"])))
+    run.add_argument("--workload", default="mcf",
+                     choices=sorted(SPEC2017))
+    _add_window_args(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare",
+                             help="normalised IPC matrix of designs")
+    compare.add_argument("--designs", nargs="+", default=FIGURE8_DESIGNS)
+    compare.add_argument("--workloads", nargs="+",
+                         default=["mcf", "wrf", "xz"])
+    _add_window_args(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    figure = sub.add_parser("figure", help="regenerate a paper artefact")
+    figure.add_argument("--id", required=True,
+                        help="1, 6, 7, 8a-8d, table2, overfetch, overheads")
+    _add_window_args(figure)
+    figure.set_defaults(func=cmd_figure)
+
+    characterise = sub.add_parser(
+        "characterise", help="Figure 1 study for one workload")
+    characterise.add_argument("--workload", default="mcf",
+                              choices=sorted(SPEC2017))
+    _add_window_args(characterise)
+    characterise.set_defaults(func=cmd_characterise)
+
+    metadata = sub.add_parser("metadata",
+                              help="SIV-B metadata budgets (paper scale)")
+    _add_window_args(metadata)
+    metadata.set_defaults(func=cmd_metadata)
+
+    campaign = sub.add_parser(
+        "campaign", help="fill/resume a persisted result matrix")
+    campaign.add_argument("--out", default="campaign.json")
+    campaign.add_argument("--designs", nargs="+",
+                          default=list(FIGURE8_DESIGNS))
+    campaign.add_argument("--workloads", nargs="+",
+                          default=["mcf", "wrf", "xz", "roms"])
+    campaign.add_argument("--metric", default="norm_ipc")
+    _add_window_args(campaign)
+    campaign.set_defaults(func=cmd_campaign)
+
+    validate = sub.add_parser(
+        "validate", help="check every paper shape claim; exit 1 on miss")
+    _add_window_args(validate)
+    validate.set_defaults(func=cmd_validate)
+
+    mix = sub.add_parser("mix", help="run a multi-programmed mix")
+    mix.add_argument("--preset", default="mix-fig1",
+                     choices=sorted(MIX_PRESETS))
+    mix.add_argument("--design", default="Bumblebee")
+    _add_window_args(mix)
+    mix.set_defaults(func=cmd_mix)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Bumblebee core: the paper's primary contribution.
+
+Public entry point is :class:`BumblebeeController`; the submodules expose
+the metadata structures (PRT, BLE array, hotness tracker), the pure
+decision policy, and the metadata-size model individually for study.
+"""
+
+from .ble import BLEArray, BlockLocationEntry, WayMode
+from .checkpoint import (
+    load_checkpoint,
+    load_state,
+    save_checkpoint,
+    state_dict,
+)
+from .config import (
+    AllocationPolicy,
+    BumblebeeConfig,
+    SetGeometry,
+    derive_geometry,
+)
+from .hmmc import BumblebeeController
+from .hotness import HotnessTracker, HotQueue
+from .metadata import (
+    SRAM_BUDGET_BYTES,
+    MetadataSizes,
+    alloy_metadata_bytes,
+    banshee_metadata_bytes,
+    chameleon_metadata_bytes,
+    hybrid2_metadata_bytes,
+    metadata_sizes,
+    unison_metadata_bytes,
+)
+from .policy import (
+    MovementAction,
+    SetCondition,
+    decide_dram_access,
+    should_swap,
+    should_switch_to_mhbm,
+    spatial_locality,
+)
+from .prt import FREE_SLOT, UNALLOCATED, PageRemappingTable, RemappingSet
+from .telemetry import ControllerSnapshot, TelemetryRecorder, snapshot
+
+__all__ = [
+    "BumblebeeController",
+    "state_dict",
+    "load_state",
+    "save_checkpoint",
+    "load_checkpoint",
+    "ControllerSnapshot",
+    "TelemetryRecorder",
+    "snapshot",
+    "BumblebeeConfig",
+    "AllocationPolicy",
+    "SetGeometry",
+    "derive_geometry",
+    "BLEArray",
+    "BlockLocationEntry",
+    "WayMode",
+    "HotnessTracker",
+    "HotQueue",
+    "PageRemappingTable",
+    "RemappingSet",
+    "UNALLOCATED",
+    "FREE_SLOT",
+    "MovementAction",
+    "SetCondition",
+    "decide_dram_access",
+    "should_switch_to_mhbm",
+    "should_swap",
+    "spatial_locality",
+    "MetadataSizes",
+    "metadata_sizes",
+    "SRAM_BUDGET_BYTES",
+    "hybrid2_metadata_bytes",
+    "alloy_metadata_bytes",
+    "unison_metadata_bytes",
+    "banshee_metadata_bytes",
+    "chameleon_metadata_bytes",
+]

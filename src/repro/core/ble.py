@@ -1,0 +1,161 @@
+"""Block Location Entry (BLE) array — per-HBM-page block metadata.
+
+One BLE exists per HBM physical page in a remapping set (Figure 3a).  It
+holds the PLE of the page occupying (or cached into) the HBM page, a valid
+bit vector, and a dirty bit vector:
+
+* for a **cHBM** page the valid vector marks which blocks of the off-chip
+  page are cached, and the dirty vector which need writeback;
+* for an **mHBM** page the valid vector records which blocks have been
+  *accessed*, feeding the spatial-locality estimate (Na/Nn).
+
+Bit vectors are plain Python ints used as bitmasks, giving O(1) popcounts
+through ``int.bit_count``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class WayMode(enum.Enum):
+    """The role an HBM physical page currently plays."""
+
+    FREE = "free"
+    CHBM = "chbm"
+    MHBM = "mhbm"
+
+
+@dataclass
+class BlockLocationEntry:
+    """Metadata of one HBM physical page (one way of a remapping set).
+
+    Attributes:
+        owner: Original intra-set page index whose data lives here
+            (-1 when free).  For cHBM this is the off-chip page being
+            cached; for mHBM it is the resident page itself.
+        mode: Current role of the way.
+        valid: Bitmask — cached blocks (cHBM) or accessed blocks (mHBM).
+        dirty: Bitmask of blocks needing writeback (cHBM only).
+        brought: *64B-line*-granularity bitmask of data moved into HBM by
+            the data-movement engine since the way was (re)filled — the
+            over-fetch numerator is measured at line granularity so large
+            blocks/pages are charged for the unused lines inside them
+            (§IV-B's "percentage of data brought in HBM but unused").
+        used: 64B-line bitmask of data demand-accessed since the fill.
+    """
+
+    owner: int = -1
+    mode: WayMode = WayMode.FREE
+    valid: int = 0
+    dirty: int = 0
+    brought: int = 0
+    used: int = 0
+
+    def reset(self) -> None:
+        """Return the way to the free state."""
+        self.owner = -1
+        self.mode = WayMode.FREE
+        self.valid = 0
+        self.dirty = 0
+        self.brought = 0
+        self.used = 0
+
+    # ---- block-mask helpers -------------------------------------------
+
+    def block_valid(self, block: int) -> bool:
+        return bool(self.valid >> block & 1)
+
+    def mark_valid(self, block: int) -> None:
+        self.valid |= 1 << block
+
+    def mark_dirty(self, block: int) -> None:
+        self.dirty |= 1 << block
+
+    def mark_brought_lines(self, mask: int) -> None:
+        """Record 64B lines moved into HBM (mask at line granularity)."""
+        self.brought |= mask
+
+    def mark_used_line(self, line: int) -> None:
+        """Record one demand-accessed 64B line."""
+        self.used |= 1 << line
+
+    def valid_count(self) -> int:
+        return self.valid.bit_count()
+
+    def dirty_count(self) -> int:
+        return self.dirty.bit_count()
+
+    def unused_brought_lines(self) -> int:
+        """64B lines moved into HBM that no demand access touched."""
+        return (self.brought & ~self.used).bit_count()
+
+    def missing_blocks(self, blocks_per_page: int) -> int:
+        """Number of blocks of the page *not* yet present in HBM."""
+        full = (1 << blocks_per_page) - 1
+        return (full & ~self.valid).bit_count()
+
+
+class BLEArray:
+    """The per-set array of :class:`BlockLocationEntry` (n ways)."""
+
+    def __init__(self, ways: int, blocks_per_page: int) -> None:
+        self._entries = [BlockLocationEntry() for _ in range(ways)]
+        self.blocks_per_page = blocks_per_page
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, way: int) -> BlockLocationEntry:
+        return self._entries[way]
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def find_owner(self, owner: int) -> int | None:
+        """Way index whose entry belongs to ``owner``, or None."""
+        for way, entry in enumerate(self._entries):
+            if entry.owner == owner and entry.mode is not WayMode.FREE:
+                return way
+        return None
+
+    def find_free(self, allowed: range | None = None) -> int | None:
+        """First free way, optionally restricted to ``allowed`` ways."""
+        ways = allowed if allowed is not None else range(len(self._entries))
+        for way in ways:
+            if self._entries[way].mode is WayMode.FREE:
+                return way
+        return None
+
+    def count_mode(self, mode: WayMode) -> int:
+        return sum(1 for e in self._entries if e.mode is mode)
+
+    def occupancy(self) -> float:
+        """Fraction of ways holding data (cHBM or mHBM): the Rh input."""
+        used = sum(1 for e in self._entries if e.mode is not WayMode.FREE)
+        return used / len(self._entries)
+
+    def spatial_counts(self, most_blocks_threshold: int
+                       ) -> tuple[int, int, int]:
+        """Return (Na, Nn, Nc) for the SL = Na - Nn - Nc estimate (§III-E).
+
+        Na: mHBM ways with >= threshold accessed blocks (strong spatial).
+        Nn: mHBM ways below the threshold.
+        Nc: cHBM ways.
+        """
+        na = nn = nc = 0
+        for entry in self._entries:
+            if entry.mode is WayMode.MHBM:
+                count = entry.valid_count()
+                if count >= most_blocks_threshold:
+                    na += 1
+                elif count > 1:
+                    # Pages with at most one accessed block carry no
+                    # locality evidence yet (freshly allocated or barely
+                    # touched); counting them as weak-spatial would bias
+                    # every warm-up toward block caching.
+                    nn += 1
+            elif entry.mode is WayMode.CHBM:
+                nc += 1
+        return na, nn, nc

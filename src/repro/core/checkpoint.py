@@ -1,0 +1,129 @@
+"""Checkpointing: save and restore a Bumblebee controller's warm state.
+
+Long studies (and the warm-up phase of every benchmark) spend most of
+their time re-learning placement.  A checkpoint captures the complete
+metadata state — PRT mappings, BLE entries, hot-table queues, and the
+HMF machinery — as a plain JSON-serialisable dict, so a warmed controller
+can be saved once and restored across processes (bit-vectors are stored
+as hex strings; everything is integers and strings otherwise).
+
+Device-side state (bank FSMs, bus horizons, statistics) is deliberately
+*not* captured: a restore represents "the same placement on quiesced
+hardware", mirroring how warm-boot works on real machines.  Transient
+decision state (zombie watchdog samples, HMF cooldown counters,
+over-fetch tracking masks) also restarts cold, so a restored controller
+reproduces placement-driven behaviour (hit rates, residency) but not the
+exact decision trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .ble import WayMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .hmmc import BumblebeeController
+
+FORMAT_VERSION = 1
+
+
+def state_dict(controller: "BumblebeeController") -> dict:
+    """Capture the controller's metadata state."""
+    g = controller.geometry
+    sets = []
+    for set_index in range(g.sets):
+        rset = controller.prt[set_index]
+        tracker = controller.hot[set_index]
+        sets.append({
+            "slot_of": [rset.slot_of(i) for i in range(g.slots_per_set)],
+            "ble": [{
+                "owner": entry.owner,
+                "mode": entry.mode.value,
+                "valid": hex(entry.valid),
+                "dirty": hex(entry.dirty),
+            } for entry in controller.ble[set_index]],
+            "hbm_queue": [[page, tracker.hbm_queue.counter(page)]
+                          for page in tracker.hbm_queue.pages()],
+            "dram_queue": [[page, tracker.dram_queue.counter(page)]
+                           for page in tracker.dram_queue.pages()],
+            "chbm_disabled": controller._chbm_disabled[set_index],
+            "recent_allocs": list(controller._recent_allocs[set_index]),
+        })
+    return {
+        "version": FORMAT_VERSION,
+        "page_bytes": controller.config.page_bytes,
+        "block_bytes": controller.config.block_bytes,
+        "sets": g.sets,
+        "slots_per_set": g.slots_per_set,
+        "hbm_ways": g.hbm_ways,
+        "set_state": sets,
+    }
+
+
+def load_state(controller: "BumblebeeController", state: dict) -> None:
+    """Restore a previously captured state into a fresh controller.
+
+    Raises:
+        ValueError: when the checkpoint does not match the controller's
+            configuration or geometry.
+    """
+    if state.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version "
+                         f"{state.get('version')!r}")
+    g = controller.geometry
+    expected = {
+        "page_bytes": controller.config.page_bytes,
+        "block_bytes": controller.config.block_bytes,
+        "sets": g.sets,
+        "slots_per_set": g.slots_per_set,
+        "hbm_ways": g.hbm_ways,
+    }
+    for key, value in expected.items():
+        if state.get(key) != value:
+            raise ValueError(
+                f"checkpoint mismatch on {key}: saved {state.get(key)!r}, "
+                f"controller has {value!r}")
+    from .prt import FREE_SLOT, UNALLOCATED
+    for set_index, saved in enumerate(state["set_state"]):
+        rset = controller.prt[set_index]
+        rset._slot_of[:] = list(saved["slot_of"])
+        rset._occupant[:] = [FREE_SLOT] * g.slots_per_set
+        for original, slot in enumerate(saved["slot_of"]):
+            if slot != UNALLOCATED:
+                rset._occupant[slot] = original
+        rset.check_consistent()
+        for entry, snap in zip(controller.ble[set_index], saved["ble"]):
+            entry.reset()
+            entry.owner = snap["owner"]
+            entry.mode = WayMode(snap["mode"])
+            entry.valid = int(snap["valid"], 16)
+            entry.dirty = int(snap["dirty"], 16)
+        tracker = controller.hot[set_index]
+        tracker.hbm_queue._entries.clear()
+        for page, counter in saved["hbm_queue"]:
+            tracker.hbm_queue.push(page, counter)
+        tracker.dram_queue._entries.clear()
+        for page, counter in saved["dram_queue"]:
+            tracker.dram_queue.push(page, counter)
+        controller._chbm_disabled[set_index] = saved["chbm_disabled"]
+        controller._recent_allocs[set_index].clear()
+        controller._recent_allocs[set_index].extend(
+            saved.get("recent_allocs", []))
+    controller.check_invariants()
+
+
+def save_checkpoint(controller: "BumblebeeController",
+                    path: str | Path) -> None:
+    """Write the controller's state as JSON."""
+    with open(path, "w") as fh:
+        json.dump(state_dict(controller), fh)
+
+
+def load_checkpoint(controller: "BumblebeeController",
+                    path: str | Path) -> None:
+    """Restore a JSON checkpoint written by :func:`save_checkpoint`."""
+    with open(path) as fh:
+        load_state(controller, json.load(fh))

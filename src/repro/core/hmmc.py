@@ -1,0 +1,707 @@
+"""The Hybrid Memory Management Controller — Bumblebee proper.
+
+Implements the Figure 5 memory access path over the unified set-associative
+PRT/BLE metadata, the §III-D hotness-based page allocation, and every
+§III-E data-movement rule:
+
+* access-triggered movement — SL- and T-gated page migration into mHBM or
+  block caching into cHBM, and the cHBM->mHBM switch when most blocks of a
+  cached page arrive;
+* high-memory-footprint movement — LRU-driven eviction, the mHBM->cHBM
+  buffering mechanism (free thanks to the multiplexed space), zombie-page
+  eviction, the fully-occupied-set swap, and the global batch flush that
+  returns cHBM capacity to the OS when the footprint exceeds off-chip DRAM.
+
+The Figure 7 ablations (No-Multi, Meta-H, Alloc-D/H, No-HMF, and the static
+C-Only / M-Only / 25%-C / 50%-C partitions) are all configuration flags on
+this one controller; see :class:`~repro.core.config.BumblebeeConfig`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..baselines.base import HybridMemoryController
+from ..mem.timing import DeviceConfig
+from ..sim.request import AccessResult, MemoryRequest
+from .ble import BLEArray, WayMode
+from .config import AllocationPolicy, BumblebeeConfig, derive_geometry
+from .hotness import HotnessTracker
+from .metadata import MetadataSizes, metadata_sizes
+from .policy import (
+    MovementAction,
+    SetCondition,
+    decide_dram_access,
+    should_swap,
+    should_switch_to_mhbm,
+    spatial_locality,
+)
+from .prt import UNALLOCATED, PageRemappingTable
+
+
+class BumblebeeController(HybridMemoryController):
+    """Bumblebee's HMMC sitting between the LLC and the two memories."""
+
+    def __init__(self, hbm_config: DeviceConfig, dram_config: DeviceConfig,
+                 config: BumblebeeConfig | None = None,
+                 name: str = "Bumblebee") -> None:
+        super().__init__(hbm_config, dram_config, name=name)
+        self.config = config or BumblebeeConfig()
+        self.geometry = derive_geometry(
+            self.config,
+            hbm_bytes=hbm_config.geometry.capacity_bytes,
+            dram_bytes=dram_config.geometry.capacity_bytes,
+        )
+        g = self.geometry
+        c = self.config
+        self.prt = PageRemappingTable(g)
+        self.ble = [BLEArray(g.hbm_ways, c.blocks_per_page)
+                    for _ in range(g.sets)]
+        self.hot = [HotnessTracker(g.hbm_ways, c.hot_queue_dram_entries,
+                                   c.counter_max)
+                    for _ in range(g.sets)]
+        self._recent_allocs: list[deque[int]] = [
+            deque(maxlen=2) for _ in range(g.sets)]
+        self._decision_ticks = [0] * g.sets
+        self._chbm_disabled = [False] * g.sets
+        self._hmf_cooldown = 0
+        self._hmf_cursor = 0
+        self._hmf_streak = 0
+        self._hmf_flush_interval = 512
+        self._full_block_mask = (1 << c.blocks_per_page) - 1
+        self._lines_per_block = c.block_bytes // 64
+        self._lines_per_page = c.page_bytes // 64
+        self._full_line_mask = (1 << self._lines_per_page) - 1
+        self._block_line_mask = (1 << self._lines_per_block) - 1
+        self._adaptive = c.fixed_chbm_ways is None
+        if self._adaptive:
+            self._chbm_ways = range(g.hbm_ways)
+            self._mhbm_ways = range(g.hbm_ways)
+        else:
+            self._chbm_ways = range(c.fixed_chbm_ways)
+            self._mhbm_ways = range(c.fixed_chbm_ways, g.hbm_ways)
+
+    # ------------------------------------------------------------------
+    # Figure 5: the memory access path
+    # ------------------------------------------------------------------
+
+    def access(self, request: MemoryRequest, now_ns: float) -> AccessResult:
+        metadata_ns = (self._metadata_access_ns(now_ns)
+                       if self.config.metadata_in_hbm else 0.0)
+        if self.config.hmf_enabled:
+            self._global_footprint_check(request.addr, now_ns)
+        set_index, orig = self.geometry.locate(request.addr)
+        rset = self.prt[set_index]
+        slot = rset.slot_of(orig)
+        if slot == UNALLOCATED:                              # (1) PRT miss
+            slot = self._allocate_page(set_index, orig, now_ns)
+        offset = request.addr % self.config.page_bytes
+        block = offset // self.config.block_bytes
+
+        if self.geometry.is_hbm_slot(slot):                  # (3) in mHBM
+            return self._access_mhbm(set_index, orig, slot, block, offset,
+                                     request, now_ns, metadata_ns)
+        return self._access_dram_home(set_index, orig, slot, block, offset,
+                                      request, now_ns, metadata_ns)
+
+    def _access_mhbm(self, set_index: int, orig: int, slot: int, block: int,
+                     offset: int, request: MemoryRequest, now_ns: float,
+                     metadata_ns: float) -> AccessResult:
+        way = slot - self.geometry.dram_slots
+        entry = self.ble[set_index][way]
+        entry.mark_valid(block)
+        entry.mark_used_line(offset // 64)
+        self.hot[set_index].record_hbm_access(orig)
+        hbm_addr = self.geometry.hbm_page_addr(set_index, slot) + offset
+        # §III-E (3): accessing an mHBM page incurs no data movement.
+        return self._demand_hbm(hbm_addr, request, now_ns, metadata_ns)
+
+    def _access_dram_home(self, set_index: int, orig: int, slot: int,
+                          block: int, offset: int, request: MemoryRequest,
+                          now_ns: float, metadata_ns: float) -> AccessResult:
+        ble = self.ble[set_index]
+        tracker = self.hot[set_index]
+        dram_addr = self.geometry.dram_page_addr(set_index, slot) + offset
+        way = ble.find_owner(orig)
+        if way is not None and ble[way].mode is WayMode.CHBM:
+            entry = ble[way]
+            tracker.record_hbm_access(orig)
+            if entry.block_valid(block):                     # (7) block hit
+                entry.mark_used_line(offset // 64)
+                if request.is_write:
+                    entry.mark_dirty(block)
+                hbm_addr = (self.geometry.hbm_page_addr(
+                    set_index, self.geometry.dram_slots + way)
+                    + offset)
+                result = self._demand_hbm(hbm_addr, request, now_ns,
+                                          metadata_ns)
+                # Re-heated buffer pages (all blocks valid after an
+                # mHBM->cHBM buffering) switch back to mHBM here with
+                # zero data movement — the deferred-eviction payoff.
+                self._maybe_switch_to_mhbm(set_index, way, orig, now_ns)
+                return result
+            # (8) page cached, block not: serve from DRAM, fetch the block.
+            result = self._demand_dram(dram_addr, request, now_ns,
+                                        metadata_ns)
+            self._fill_block(set_index, way, orig, block,
+                             request.is_write, now_ns,
+                             used_line=offset // 64)
+            self._maybe_switch_to_mhbm(set_index, way, orig, now_ns)
+            return result
+        # (5) page not cached: off-chip service plus a movement decision.
+        tracker.record_dram_access(orig)
+        result = self._demand_dram(dram_addr, request, now_ns, metadata_ns)
+        self._movement_decision(set_index, orig, block, request.is_write,
+                                now_ns, used_line=offset // 64)
+        return result
+
+    # ------------------------------------------------------------------
+    # §III-D: page allocation
+    # ------------------------------------------------------------------
+
+    def _allocate_page(self, set_index: int, orig: int,
+                       now_ns: float) -> int:
+        """Assign a never-touched page to a free slot (PRT miss path)."""
+        rset = self.prt[set_index]
+        tracker = self.hot[set_index]
+        policy = self.config.allocation
+        if policy is AllocationPolicy.HOTNESS:
+            recent = self._recent_allocs[set_index]
+            want_hbm = any(p in tracker.hbm_queue for p in recent)
+        elif policy is AllocationPolicy.HBM:
+            want_hbm = True
+        else:
+            want_hbm = False
+        slot = None
+        if want_hbm and self._mhbm_ways:
+            slot = self._free_hbm_slot_for_alloc(set_index, now_ns)
+        if slot is None:
+            slot = rset.first_free_slot(0, self.geometry.dram_slots)
+        if slot is None:
+            slot = self._free_hbm_slot_for_alloc(set_index, now_ns)
+        if slot is None:
+            raise RuntimeError(
+                f"set {set_index} has no free slot for page {orig}; "
+                "the OS address space cannot exceed the slot count")
+        rset.allocate(orig, slot)
+        self._recent_allocs[set_index].append(orig)
+        self.stats.bump("alloc_hbm" if self.geometry.is_hbm_slot(slot)
+                        else "alloc_dram")
+        if self.geometry.is_hbm_slot(slot):
+            way = slot - self.geometry.dram_slots
+            entry = self.ble[set_index][way]
+            entry.owner = orig
+            entry.mode = WayMode.MHBM
+            tracker.promote(orig)
+        return slot
+
+    def _free_hbm_slot_for_alloc(self, set_index: int,
+                                 now_ns: float) -> int | None:
+        """A free HBM slot usable for allocation, flushing idle cHBM ways.
+
+        Only ways in the mHBM-capable region qualify; a way holding cHBM
+        data is flushed (its cache dropped) to make the slot allocatable —
+        OS capacity takes priority over cache contents (§III-A).
+        """
+        rset = self.prt[set_index]
+        ble = self.ble[set_index]
+        base = self.geometry.dram_slots
+        for way in self._mhbm_ways:
+            if rset.is_occupied(base + way):
+                continue
+            if ble[way].mode is WayMode.FREE:
+                return base + way
+        for way in self._mhbm_ways:
+            if rset.is_occupied(base + way):
+                continue
+            if ble[way].mode is WayMode.CHBM:
+                self._evict_chbm_way(set_index, way, now_ns)
+                return base + way
+        return None
+
+    # ------------------------------------------------------------------
+    # §III-E: data movement triggered by memory access
+    # ------------------------------------------------------------------
+
+    def _movement_decision(self, set_index: int, orig: int, block: int,
+                           is_write: bool, now_ns: float,
+                           used_line: int = 0) -> None:
+        ble = self.ble[set_index]
+        tracker = self.hot[set_index]
+        na, nn, nc = ble.spatial_counts(self.config.most_blocks_threshold)
+        condition = SetCondition(
+            sl=spatial_locality(na, nn, nc),
+            rh=ble.occupancy(),
+            hotness=tracker.hotness(orig),
+            # Saturating-counter reading of "hotness larger than T": a
+            # saturated candidate must be able to pass a saturated
+            # threshold, or the set freezes once resident counters cap.
+            threshold=min(tracker.threshold(),
+                          self.config.counter_max - 1),
+        )
+        self._decision_ticks[set_index] += 1
+        if (self.config.age_interval
+                and self._decision_ticks[set_index]
+                % self.config.age_interval == 0):
+            tracker.age()
+        chbm_allowed = (len(self._chbm_ways) > 0
+                        and not self._chbm_disabled[set_index])
+        mhbm_allowed = len(self._mhbm_ways) > 0
+        action = decide_dram_access(
+            condition, chbm_allowed=chbm_allowed, mhbm_allowed=mhbm_allowed,
+            # Static partitions have a single mechanism; and a set whose
+            # cHBM the high-footprint state disabled behaves as pure POM.
+            allow_fallback=(not self._adaptive
+                            or self._chbm_disabled[set_index]))
+        if action is MovementAction.MIGRATE:
+            self._migrate_page(set_index, orig, block, now_ns,
+                               used_line=used_line)
+        elif action is MovementAction.CACHE_BLOCK:
+            self._cache_into_chbm(set_index, orig, block, is_write, now_ns,
+                                  used_line=used_line)
+        if self.config.hmf_enabled and condition.rh_high:
+            zombie = tracker.observe_zombie(self.config.zombie_patience)
+            if zombie is not None and zombie != orig:
+                self._evict_zombie(set_index, zombie, now_ns)
+
+    def _migrate_page(self, set_index: int, orig: int, block: int,
+                      now_ns: float, used_line: int = 0) -> None:
+        """Whole-page migration from off-chip DRAM into mHBM."""
+        way = self._acquire_way(set_index, self._mhbm_ways, now_ns,
+                                self.hot[set_index].hotness(orig))
+        if way is None:
+            self._try_full_set_swap(set_index, orig, now_ns)
+            return
+        rset = self.prt[set_index]
+        g = self.geometry
+        dram_slot = rset.slot_of(orig)
+        hbm_slot = g.dram_slots + way
+        self.mover.fetch_to_hbm(
+            g.dram_page_addr(set_index, dram_slot),
+            g.hbm_page_addr(set_index, hbm_slot),
+            self.config.page_bytes, now_ns)
+        rset.move(orig, hbm_slot)
+        entry = self.ble[set_index][way]
+        entry.reset()
+        entry.owner = orig
+        entry.mode = WayMode.MHBM
+        entry.mark_valid(block)
+        entry.mark_brought_lines(self._full_line_mask)
+        entry.mark_used_line(used_line)
+        self._adopt_into_hbm_queue(set_index, orig, now_ns)
+        self.stats.bump("migrations")
+
+    def _cache_into_chbm(self, set_index: int, orig: int, block: int,
+                         is_write: bool, now_ns: float,
+                         used_line: int = 0) -> None:
+        """Start caching a page: fetch only the requested block (§III-E 1)."""
+        way = self._acquire_way(set_index, self._chbm_ways, now_ns,
+                                self.hot[set_index].hotness(orig))
+        if way is None:
+            return
+        entry = self.ble[set_index][way]
+        entry.reset()
+        entry.owner = orig
+        entry.mode = WayMode.CHBM
+        self._fill_block(set_index, way, orig, block, is_write, now_ns,
+                         used_line=used_line)
+        self._adopt_into_hbm_queue(set_index, orig, now_ns)
+        self.stats.bump("chbm_insertions")
+
+    def _fill_block(self, set_index: int, way: int, orig: int, block: int,
+                    is_write: bool, now_ns: float,
+                    used_line: int | None = None) -> None:
+        """Fetch one block of a cHBM-cached page from its DRAM home."""
+        g = self.geometry
+        entry = self.ble[set_index][way]
+        dram_slot = self.prt[set_index].slot_of(orig)
+        block_off = block * self.config.block_bytes
+        self.mover.fetch_to_hbm(
+            g.dram_page_addr(set_index, dram_slot) + block_off,
+            g.hbm_page_addr(set_index, g.dram_slots + way) + block_off,
+            self.config.block_bytes, now_ns)
+        entry.mark_valid(block)
+        entry.mark_brought_lines(
+            self._block_line_mask << (block * self._lines_per_block))
+        if used_line is not None:
+            entry.mark_used_line(used_line)
+        if is_write:
+            entry.mark_dirty(block)
+        self.stats.bump("block_fills")
+        if self.config.prefetch_blocks:
+            self._prefetch_blocks(set_index, way, orig, block, now_ns)
+
+    def _prefetch_blocks(self, set_index: int, way: int, orig: int,
+                         block: int, now_ns: float) -> None:
+        """Extension: pull the next sequential blocks alongside a fill."""
+        g = self.geometry
+        entry = self.ble[set_index][way]
+        dram_slot = self.prt[set_index].slot_of(orig)
+        for offset in range(1, self.config.prefetch_blocks + 1):
+            next_block = block + offset
+            if next_block >= self.config.blocks_per_page:
+                break
+            if entry.block_valid(next_block):
+                continue
+            block_off = next_block * self.config.block_bytes
+            self.mover.fetch_to_hbm(
+                g.dram_page_addr(set_index, dram_slot) + block_off,
+                g.hbm_page_addr(set_index, g.dram_slots + way) + block_off,
+                self.config.block_bytes, now_ns)
+            entry.mark_valid(next_block)
+            entry.mark_brought_lines(
+                self._block_line_mask
+                << (next_block * self._lines_per_block))
+            self.stats.bump("prefetched_blocks")
+
+    def _maybe_switch_to_mhbm(self, set_index: int, way: int, orig: int,
+                              now_ns: float) -> None:
+        """§III-E (2): a mostly-cached cHBM page becomes an mHBM page."""
+        entry = self.ble[set_index][way]
+        if not should_switch_to_mhbm(entry.valid_count(),
+                                     self.config.most_blocks_threshold,
+                                     adaptive=self._adaptive):
+            return
+        g = self.geometry
+        rset = self.prt[set_index]
+        missing = entry.missing_blocks(self.config.blocks_per_page)
+        move_bytes = missing * self.config.block_bytes
+        hbm_slot = g.dram_slots + way
+        dram_slot = rset.slot_of(orig)
+        if self.config.multiplexed:
+            # Only the blocks not yet cached move (the multiplexed-space
+            # advantage); the page's official home flips to the HBM slot.
+            self.mover.fetch_to_hbm(
+                g.dram_page_addr(set_index, dram_slot),
+                g.hbm_page_addr(set_index, hbm_slot),
+                move_bytes, now_ns, mode_switch=True)
+        else:
+            # No-Multi: separate spaces force the full page to be staged
+            # across, costing a whole-page transfer regardless of how much
+            # is already cached.
+            self.mover.fetch_to_hbm(
+                g.dram_page_addr(set_index, dram_slot),
+                g.hbm_page_addr(set_index, hbm_slot),
+                self.config.page_bytes, now_ns, mode_switch=True)
+        missing_line_mask = 0
+        for b in range(self.config.blocks_per_page):
+            if not entry.block_valid(b):
+                missing_line_mask |= (self._block_line_mask
+                                      << (b * self._lines_per_block))
+        entry.mark_brought_lines(missing_line_mask)
+        rset.move(orig, hbm_slot)
+        entry.mode = WayMode.MHBM
+        # entry.valid keeps the accessed-block history, which now feeds the
+        # Na/Nn spatial estimate for this mHBM page.
+        entry.dirty = 0
+        self.stats.bump("switch_c2m")
+
+    # ------------------------------------------------------------------
+    # §III-E: data movement triggered by high memory footprint
+    # ------------------------------------------------------------------
+
+    def _acquire_way(self, set_index: int, allowed: range, now_ns: float,
+                     incoming_hotness: int = 0) -> int | None:
+        """Find (or make) a free way in ``allowed``.
+
+        Free ways are used directly.  Otherwise the coldest page whose
+        counter does not exceed ``incoming_hotness`` is victimised
+        (generalising the §III-E swap rule: incoming data never displaces
+        hotter data): cHBM victims are evicted cheaply (dirty blocks
+        only); when every eligible victim is mHBM the coldest one is
+        *buffered* into cHBM mode (no data moves — multiplexed space) and
+        this round yields no way, matching the paper's deferred-eviction
+        behaviour.  With HMF movement disabled (No-HMF), or in a set
+        whose cHBM the high-footprint state disabled (buffering would
+        strand un-evictable cHBM pages), the victim is evicted outright.
+        """
+        ble = self.ble[set_index]
+        way = ble.find_free(allowed)
+        if way is not None:
+            return way
+        tracker = self.hot[set_index]
+        # Coldest-counter first (LRU position as tiebreak), restricted to
+        # pages no hotter than the incoming one.
+        counter = tracker.hbm_queue.counter
+        candidates = sorted(
+            (p for p in tracker.hbm_queue.pages()
+             if counter(p) <= max(1, incoming_hotness)),
+            key=counter)
+        for page in candidates:
+            victim_way = ble.find_owner(page)
+            if victim_way is None or victim_way not in allowed:
+                continue
+            if ble[victim_way].mode is WayMode.CHBM:
+                self._evict_chbm_way(set_index, victim_way, now_ns)
+                return victim_way
+        if (self.config.hmf_enabled and self._adaptive
+                and not self._chbm_disabled[set_index]):
+            # The buffering mechanism needs the multiplexed cHBM mode:
+            # only adaptive Bumblebee can park an eviction-bound mHBM
+            # page as cHBM in place.  Static partitions (and No-HMF)
+            # fall through to direct eviction below.
+            for page in candidates:
+                victim_way = ble.find_owner(page)
+                if victim_way is None or victim_way not in allowed:
+                    continue
+                if ble[victim_way].mode is WayMode.MHBM:
+                    self._buffer_mhbm_way(set_index, victim_way, now_ns)
+                    break
+            return None
+        for page in candidates:
+            victim_way = ble.find_owner(page)
+            if victim_way is not None and victim_way in allowed:
+                self._evict_mhbm_way(set_index, victim_way, now_ns)
+                if ble[victim_way].mode is WayMode.FREE:
+                    return victim_way
+        return None
+
+    def _evict_chbm_way(self, set_index: int, way: int,
+                        now_ns: float) -> None:
+        """Drop a cHBM page: write dirty blocks back to its DRAM home."""
+        g = self.geometry
+        entry = self.ble[set_index][way]
+        owner = entry.owner
+        dram_slot = self.prt[set_index].slot_of(owner)
+        dirty_bytes = entry.dirty_count() * self.config.block_bytes
+        self.mover.writeback_to_dram(
+            g.hbm_page_addr(set_index, g.dram_slots + way),
+            g.dram_page_addr(set_index, dram_slot),
+            dirty_bytes, now_ns)
+        self._retire_way(set_index, way)
+        self.hot[set_index].demote(owner)
+        self.stats.bump("chbm_evictions")
+
+    def _evict_mhbm_way(self, set_index: int, way: int,
+                        now_ns: float) -> None:
+        """Fully evict an mHBM page to a free DRAM slot (whole page moves)."""
+        g = self.geometry
+        rset = self.prt[set_index]
+        entry = self.ble[set_index][way]
+        owner = entry.owner
+        dram_slot = rset.first_free_slot(0, g.dram_slots)
+        if dram_slot is None:
+            return
+        self.mover.writeback_to_dram(
+            g.hbm_page_addr(set_index, g.dram_slots + way),
+            g.dram_page_addr(set_index, dram_slot),
+            self.config.page_bytes, now_ns)
+        rset.move(owner, dram_slot)
+        self._retire_way(set_index, way)
+        self.hot[set_index].demote(owner)
+        self.stats.bump("mhbm_evictions")
+
+    def _buffer_mhbm_way(self, set_index: int, way: int,
+                         now_ns: float) -> None:
+        """§III-E HMF (2): switch an eviction-bound mHBM page to cHBM mode.
+
+        With multiplexed spaces this moves *no data*: the page's official
+        home becomes a reserved free DRAM slot, every block is marked valid
+        and dirty, and the data keeps being served from the same HBM page.
+        If the page re-heats, switching back is again metadata-only.
+        """
+        g = self.geometry
+        rset = self.prt[set_index]
+        entry = self.ble[set_index][way]
+        owner = entry.owner
+        dram_slot = rset.first_free_slot(0, g.dram_slots)
+        if dram_slot is None:
+            return
+        if not self.config.multiplexed:
+            # Separate spaces: the switch physically stages the page out.
+            self.mover.writeback_to_dram(
+                g.hbm_page_addr(set_index, g.dram_slots + way),
+                g.dram_page_addr(set_index, dram_slot),
+                self.config.page_bytes, now_ns, mode_switch=True)
+            dirty_mask = 0
+        else:
+            dirty_mask = self._full_block_mask
+        rset.move(owner, dram_slot)
+        entry.mode = WayMode.CHBM
+        entry.valid = self._full_block_mask
+        entry.dirty = dirty_mask
+        self.stats.bump("switch_m2c")
+
+    def _evict_zombie(self, set_index: int, page: int,
+                      now_ns: float) -> None:
+        """§III-E HMF (3): evict a page nothing else can push out."""
+        ble = self.ble[set_index]
+        way = ble.find_owner(page)
+        if way is None:
+            self.hot[set_index].demote(page)
+            return
+        if ble[way].mode is WayMode.CHBM:
+            self._evict_chbm_way(set_index, way, now_ns)
+        else:
+            self._evict_mhbm_way(set_index, way, now_ns)
+        self.stats.bump("zombie_evictions")
+
+    def _try_full_set_swap(self, set_index: int, orig: int,
+                           now_ns: float) -> None:
+        """§III-E HMF (4): all slots OS-occupied — swap hot for coldest."""
+        if not self.config.hmf_enabled:
+            return
+        rset = self.prt[set_index]
+        g = self.geometry
+        if rset.first_free_slot(0, g.slots_per_set) is not None:
+            return
+        tracker = self.hot[set_index]
+        head = tracker.hbm_queue.lru_head()
+        if head is None:
+            return
+        victim, coldest = head
+        if not should_swap(tracker.hotness(orig), coldest):
+            return
+        victim_way = self.ble[set_index].find_owner(victim)
+        if victim_way is None or self.ble[set_index][victim_way].mode \
+                is not WayMode.MHBM:
+            return
+        dram_slot = rset.slot_of(orig)
+        hbm_slot = g.dram_slots + victim_way
+        self.mover.swap(g.hbm_page_addr(set_index, hbm_slot),
+                        g.dram_page_addr(set_index, dram_slot),
+                        self.config.page_bytes, now_ns)
+        rset.swap(orig, victim)
+        entry = self.ble[set_index][victim_way]
+        self._account_overfetch(entry)
+        entry.reset()
+        entry.owner = orig
+        entry.mode = WayMode.MHBM
+        entry.mark_brought_lines(self._full_line_mask)
+        tracker.demote(victim)
+        self._adopt_into_hbm_queue(set_index, orig, now_ns)
+
+    def _global_footprint_check(self, addr: int, now_ns: float) -> None:
+        """§III-E HMF (5): batch-flush cHBM when the footprint tops DRAM."""
+        dram_bytes = self.dram.capacity_bytes
+        if addr >= dram_bytes:
+            # While the footprint stays above off-chip capacity, keep
+            # returning cHBM capacity to the OS, one batch of sets at a
+            # time (the paper's batching mechanism).
+            if self._hmf_streak % self._hmf_flush_interval == 0:
+                self._flush_chbm_batch(now_ns)
+            self._hmf_streak += 1
+            self._hmf_cooldown = self.config.hmf_cooldown_requests
+        elif self._hmf_cooldown > 0:
+            self._hmf_cooldown -= 1
+            if self._hmf_cooldown == 0:
+                self._chbm_disabled = [False] * self.geometry.sets
+                self._hmf_streak = 0
+                self.stats.bump("hmf_reenables")
+
+    def _flush_chbm_batch(self, now_ns: float) -> None:
+        """Flush cHBM pages across a batch of sets and disable cHBM there."""
+        g = self.geometry
+        for _ in range(min(self.config.hmf_batch_sets, g.sets)):
+            set_index = self._hmf_cursor
+            self._hmf_cursor = (self._hmf_cursor + 1) % g.sets
+            for way in range(g.hbm_ways):
+                if self.ble[set_index][way].mode is WayMode.CHBM:
+                    self._evict_chbm_way(set_index, way, now_ns)
+            self._chbm_disabled[set_index] = True
+        self.stats.bump("hmf_flushes")
+
+    # ------------------------------------------------------------------
+    # shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _adopt_into_hbm_queue(self, set_index: int, page: int,
+                              now_ns: float) -> None:
+        """Promote a page's hot-table entry; evict anything pushed out."""
+        popped = self.hot[set_index].promote(page)
+        if popped is None:
+            return
+        victim, counter = popped
+        self.hot[set_index].dram_queue.push(victim, counter)
+        way = self.ble[set_index].find_owner(victim)
+        if way is None:
+            return
+        if self.ble[set_index][way].mode is WayMode.CHBM:
+            self._evict_chbm_way(set_index, way, now_ns)
+        else:
+            self._evict_mhbm_way(set_index, way, now_ns)
+
+    def _account_overfetch(self, entry) -> None:
+        unused = entry.unused_brought_lines()
+        if unused:
+            self.stats.bump("overfetch_bytes", unused * 64)
+
+    def _retire_way(self, set_index: int, way: int) -> None:
+        entry = self.ble[set_index][way]
+        self._account_overfetch(entry)
+        entry.reset()
+
+    def finish(self, now_ns: float) -> None:
+        """End-of-run hook.
+
+        Over-fetch is accounted at eviction time only (the paper's
+        "brought in but unused before eviction" framing): still-resident
+        data may yet be used, and charging it would make the metric a
+        function of where the measurement window happens to end.
+        """
+
+    def reset_measurements(self) -> None:
+        """Warm-up boundary: restart over-fetch tracking alongside the
+        traffic counters so pre-warm-up fills are not charged against the
+        measured window's fetch volume."""
+        super().reset_measurements()
+        for set_ble in self.ble:
+            for entry in set_ble:
+                entry.brought = 0
+                entry.used = 0
+
+    def os_visible_bytes(self) -> int:
+        """Adaptive Bumblebee exposes the whole stack (cHBM yields to the
+        OS under footprint pressure); static partitions expose only the
+        mHBM region."""
+        visible = self.dram.capacity_bytes
+        if self._adaptive:
+            visible += self.hbm.capacity_bytes
+        else:
+            visible += (self.hbm.capacity_bytes * len(self._mhbm_ways)
+                        // self.geometry.hbm_ways)
+        return visible
+
+    def metadata_bytes(self) -> int:
+        return self.metadata_model().total_bytes
+
+    def metadata_model(self) -> MetadataSizes:
+        """The §IV-B metadata budget of this configuration."""
+        return metadata_sizes(self.config, self.geometry)
+
+    def metadata_in_sram(self) -> bool:
+        return (not self.config.metadata_in_hbm
+                and super().metadata_in_sram())
+
+    # ------------------------------------------------------------------
+    # invariants (test support)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Cross-validate PRT, BLE, and hot-table state.
+
+        Raises:
+            AssertionError: on any metadata inconsistency.
+        """
+        g = self.geometry
+        for set_index in range(g.sets):
+            rset = self.prt[set_index]
+            rset.check_consistent()
+            ble = self.ble[set_index]
+            for way in range(g.hbm_ways):
+                entry = ble[way]
+                slot = g.dram_slots + way
+                if entry.mode is WayMode.MHBM:
+                    assert rset.occupant(slot) == entry.owner, (
+                        f"set {set_index} way {way}: mHBM owner "
+                        f"{entry.owner} but occupant {rset.occupant(slot)}")
+                elif entry.mode is WayMode.CHBM:
+                    assert not rset.is_occupied(slot), (
+                        f"set {set_index} way {way}: cHBM way's slot is "
+                        "OS-occupied")
+                    home = rset.slot_of(entry.owner)
+                    assert 0 <= home < g.dram_slots, (
+                        f"set {set_index} way {way}: cached page "
+                        f"{entry.owner} does not live in DRAM (slot {home})")
+                else:
+                    assert entry.owner == -1 and entry.valid == 0

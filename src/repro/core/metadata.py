@@ -1,0 +1,118 @@
+"""Bit-exact metadata storage model (§III-B, §IV-B).
+
+Bumblebee's headline metadata claim: the whole PRT + BLE array + hotness
+tracker fits in a few hundred KB of on-chip SRAM (334KB in the paper's
+configuration), one to two orders of magnitude below prior hybrid designs.
+This module computes the exact bit budget from the configuration and
+geometry so the Figure 6 design-space sweep can enforce the 512KB SRAM cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import BumblebeeConfig, SetGeometry
+
+SRAM_BUDGET_BYTES = 512 * 1024
+
+
+@dataclass(frozen=True)
+class MetadataSizes:
+    """Byte sizes of the three metadata components."""
+
+    prt_bytes: int
+    ble_bytes: int
+    hotness_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.prt_bytes + self.ble_bytes + self.hotness_bytes
+
+    def fits_sram(self, budget_bytes: int = SRAM_BUDGET_BYTES) -> bool:
+        return self.total_bytes <= budget_bytes
+
+
+def _bits_to_bytes(bits: int) -> int:
+    return (bits + 7) // 8
+
+
+def metadata_sizes(config: BumblebeeConfig,
+                   geometry: SetGeometry) -> MetadataSizes:
+    """Compute Bumblebee's metadata budget.
+
+    Per remapping set:
+
+    * PRT — one new PLE of ``ceil(log2(m+n))`` bits per original page,
+      plus one Occup bit per slot.
+    * BLE array — per HBM way: a PLE plus valid and dirty bit vectors of
+      ``blocks_per_page`` bits each.
+    * Hotness tracker — the two hot-table queues ((n + dram_entries)
+      entries of PLE + counter bits) and the five parameters.
+    """
+    slots = geometry.slots_per_set
+    ple = geometry.ple_bits
+    blocks = config.blocks_per_page
+
+    prt_bits_per_set = slots * ple + slots
+    ble_bits_per_set = geometry.hbm_ways * (ple + 2 * blocks)
+    queue_entries = geometry.hbm_ways + config.hot_queue_dram_entries
+    hotness_bits_per_set = (queue_entries * (ple + config.counter_bits)
+                            + 5 * config.counter_bits)
+
+    sets = geometry.sets
+    return MetadataSizes(
+        prt_bytes=_bits_to_bytes(prt_bits_per_set * sets),
+        ble_bytes=_bits_to_bytes(ble_bits_per_set * sets),
+        hotness_bytes=_bits_to_bytes(hotness_bits_per_set * sets),
+    )
+
+
+def hybrid2_metadata_bytes(hbm_bytes: int, dram_bytes: int,
+                           block_bytes: int = 256,
+                           page_bytes: int = 2048) -> int:
+    """Metadata footprint of Hybrid2's published organisation.
+
+    Hybrid2 tracks 2KB pages with 256B blocks: per HBM page a remapping
+    entry (tag + pointer, modelled at 4 bytes as the paper's
+    "space-inefficient pointers and tags"), per block valid+dirty bits,
+    plus an off-chip page table entry (4 bytes) per DRAM page so migrated
+    pages can be located.  At 1GB/10GB this lands in the tens of MB the
+    paper quotes.
+    """
+    blocks_per_page = page_bytes // block_bytes
+    hbm_pages = hbm_bytes // page_bytes
+    dram_pages = dram_bytes // page_bytes
+    per_hbm_page_bits = 32 + 2 * blocks_per_page
+    per_dram_page_bits = 32
+    return _bits_to_bytes(hbm_pages * per_hbm_page_bits
+                          + dram_pages * per_dram_page_bits)
+
+
+def alloy_metadata_bytes(hbm_bytes: int) -> int:
+    """Alloy Cache stores an 8B tag per 64B line inside HBM (TAD units);
+    the paper cites tags occupying 12.5% of HBM capacity."""
+    lines = hbm_bytes // 72  # 64B data + 8B tag per TAD
+    return lines * 8
+
+
+def unison_metadata_bytes(hbm_bytes: int, page_bytes: int = 4096) -> int:
+    """Unison embeds per-page tags + footprint vectors in HBM: model one
+    8B tag plus a 64-bit footprint vector per 4KB page."""
+    pages = hbm_bytes // page_bytes
+    return pages * (8 + 8)
+
+
+def banshee_metadata_bytes(hbm_bytes: int, dram_bytes: int,
+                           page_bytes: int = 4096) -> int:
+    """Banshee's page-table/TLB extensions plus frequency counters: model
+    4 bytes per HBM page (mapping + counter) and a 2-byte sampled counter
+    per candidate DRAM page."""
+    return (hbm_bytes // page_bytes) * 4 + (dram_bytes // page_bytes) * 2
+
+
+def chameleon_metadata_bytes(hbm_bytes: int, dram_bytes: int,
+                             segment_bytes: int = 2048) -> int:
+    """Chameleon's segment-group remap tables, held in memory: one
+    remap entry (~2 bytes) per segment of both memories."""
+    segments = (hbm_bytes + dram_bytes) // segment_bytes
+    return segments * 2

@@ -1,0 +1,132 @@
+"""PLE Remapping Table — the unified set-associative page remapper.
+
+Each remapping set covers ``m`` off-chip pages and ``n`` HBM pages
+(Figure 3).  The PRT stores, per original page index, the *new PLE*: the
+slot the page actually lives in (-1 when the page has never been allocated)
+— combining address remapping and allocation in one narrow field — plus the
+per-slot Occup bit queried by the allocator.  The inverse map (slot ->
+occupant) is maintained alongside for O(1) slot queries; in hardware it is
+recomputable and costs no extra state.
+"""
+
+from __future__ import annotations
+
+from .config import SetGeometry
+
+UNALLOCATED = -1
+FREE_SLOT = -1
+
+
+class RemappingSet:
+    """PRT state of one remapping set."""
+
+    __slots__ = ("_slot_of", "_occupant")
+
+    def __init__(self, slots: int) -> None:
+        self._slot_of = [UNALLOCATED] * slots   # new PLE per original index
+        self._occupant = [FREE_SLOT] * slots    # inverse map per slot
+
+    # ---- queries --------------------------------------------------------
+
+    def slot_of(self, original: int) -> int:
+        """Current slot of original page ``original`` (UNALLOCATED if none)."""
+        return self._slot_of[original]
+
+    def occupant(self, slot: int) -> int:
+        """Original page occupying ``slot`` (FREE_SLOT when empty)."""
+        return self._occupant[slot]
+
+    def is_allocated(self, original: int) -> bool:
+        return self._slot_of[original] != UNALLOCATED
+
+    def is_occupied(self, slot: int) -> bool:
+        """The Occup bit of Figure 3a."""
+        return self._occupant[slot] != FREE_SLOT
+
+    def free_slots(self, lo: int, hi: int) -> list[int]:
+        """Unoccupied slots in ``[lo, hi)``."""
+        return [s for s in range(lo, hi) if self._occupant[s] == FREE_SLOT]
+
+    def first_free_slot(self, lo: int, hi: int) -> int | None:
+        for slot in range(lo, hi):
+            if self._occupant[slot] == FREE_SLOT:
+                return slot
+        return None
+
+    def allocated_count(self) -> int:
+        return sum(1 for s in self._slot_of if s != UNALLOCATED)
+
+    # ---- updates ----------------------------------------------------------
+
+    def allocate(self, original: int, slot: int) -> None:
+        """Bind an unallocated page to a free slot.
+
+        Raises:
+            ValueError: when the page is already allocated or the slot is
+                occupied (metadata corruption guard).
+        """
+        if self._slot_of[original] != UNALLOCATED:
+            raise ValueError(f"page {original} already allocated")
+        if self._occupant[slot] != FREE_SLOT:
+            raise ValueError(f"slot {slot} already occupied")
+        self._slot_of[original] = slot
+        self._occupant[slot] = original
+
+    def move(self, original: int, new_slot: int) -> int:
+        """Relocate an allocated page to a free slot; returns the old slot."""
+        old_slot = self._slot_of[original]
+        if old_slot == UNALLOCATED:
+            raise ValueError(f"page {original} not allocated")
+        if self._occupant[new_slot] != FREE_SLOT:
+            raise ValueError(f"slot {new_slot} already occupied")
+        self._occupant[old_slot] = FREE_SLOT
+        self._slot_of[original] = new_slot
+        self._occupant[new_slot] = original
+        return old_slot
+
+    def swap(self, original_a: int, original_b: int) -> None:
+        """Exchange the slots of two allocated pages (the Fig. 3b arrow)."""
+        slot_a = self._slot_of[original_a]
+        slot_b = self._slot_of[original_b]
+        if UNALLOCATED in (slot_a, slot_b):
+            raise ValueError("both pages must be allocated to swap")
+        self._slot_of[original_a] = slot_b
+        self._slot_of[original_b] = slot_a
+        self._occupant[slot_a] = original_b
+        self._occupant[slot_b] = original_a
+
+    def check_consistent(self) -> None:
+        """Invariant check: slot_of and occupant are mutual inverses.
+
+        Raises:
+            AssertionError: on any inconsistency (used by tests and
+                property-based checks, never on the hot path).
+        """
+        for original, slot in enumerate(self._slot_of):
+            if slot != UNALLOCATED:
+                assert self._occupant[slot] == original, (
+                    f"page {original} claims slot {slot}, occupant says "
+                    f"{self._occupant[slot]}")
+        for slot, original in enumerate(self._occupant):
+            if original != FREE_SLOT:
+                assert self._slot_of[original] == slot, (
+                    f"slot {slot} claims page {original}, slot_of says "
+                    f"{self._slot_of[original]}")
+
+
+class PageRemappingTable:
+    """The full PRT: one :class:`RemappingSet` per set index."""
+
+    def __init__(self, geometry: SetGeometry) -> None:
+        self.geometry = geometry
+        self._sets = [RemappingSet(geometry.slots_per_set)
+                      for _ in range(geometry.sets)]
+
+    def __getitem__(self, set_index: int) -> RemappingSet:
+        return self._sets[set_index]
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+    def __iter__(self):
+        return iter(self._sets)

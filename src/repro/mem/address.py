@@ -1,0 +1,73 @@
+"""Physical address decomposition for interleaved multi-channel devices.
+
+The mapping follows the common "channel bits low" layout used by DRAMSim2
+for bandwidth-oriented parts: consecutive ``interleave_bytes`` chunks rotate
+across channels, then rows fill each channel, and banks rotate across
+consecutive rows inside a channel (open rows in different banks can overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import DeviceGeometry
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """A physical address broken into device coordinates."""
+
+    channel: int
+    bank: int
+    row: int
+    column_byte: int
+
+
+class AddressMapper:
+    """Maps flat device-local byte addresses onto (channel, bank, row).
+
+    Args:
+        geometry: The device organisation to decode against.
+
+    The mapper is purely combinational: it holds no state and the same
+    address always decodes to the same coordinates.
+    """
+
+    def __init__(self, geometry: DeviceGeometry) -> None:
+        if geometry.interleave_bytes <= 0:
+            raise ValueError("interleave_bytes must be positive")
+        if geometry.capacity_bytes % geometry.channels != 0:
+            raise ValueError("capacity must divide evenly across channels")
+        self._geometry = geometry
+
+    @property
+    def geometry(self) -> DeviceGeometry:
+        return self._geometry
+
+    def decode(self, addr: int) -> DecodedAddress:
+        """Decode a device-local byte address.
+
+        Raises:
+            ValueError: if ``addr`` lies outside the device.
+        """
+        g = self._geometry
+        if not 0 <= addr < g.capacity_bytes:
+            raise ValueError(
+                f"address {addr:#x} outside device of "
+                f"{g.capacity_bytes:#x} bytes")
+        chunk = addr // g.interleave_bytes
+        channel = chunk % g.channels
+        local = (chunk // g.channels) * g.interleave_bytes + (
+            addr % g.interleave_bytes)
+        row_index = local // g.row_bytes
+        bank = row_index % g.banks_per_channel
+        row = row_index // g.banks_per_channel
+        return DecodedAddress(
+            channel=channel, bank=bank, row=row,
+            column_byte=local % g.row_bytes)
+
+    def same_row(self, addr_a: int, addr_b: int) -> bool:
+        """True when two addresses land in the same (channel, bank, row)."""
+        a = self.decode(addr_a)
+        b = self.decode(addr_b)
+        return (a.channel, a.bank, a.row) == (b.channel, b.bank, b.row)

@@ -1,0 +1,107 @@
+"""Row-buffer state machine for a single DRAM bank.
+
+This is the core of the semi-analytic timing model: each bank remembers its
+open row and the time it becomes free again, and classifies every access as
+a row hit, a closed-bank activate, or a row conflict.  Latency is derived
+from the device timing preset; command-bus contention is abstracted away
+(the data bus is serialised separately in :class:`repro.mem.channel.Channel`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .timing import DeviceTimings
+
+
+class RowBufferOutcome(enum.Enum):
+    """How an access interacted with the bank's row buffer."""
+
+    HIT = "hit"
+    CLOSED = "closed"
+    CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class BankAccess:
+    """Result of presenting one column access to a bank.
+
+    Attributes:
+        outcome: Row-buffer interaction class.
+        issue_ns: When the bank could begin the access.
+        data_ns: When column data is available on the bank's sense amps
+            (before data-bus serialisation).
+        activated: True when this access opened a row (consumes activate
+            energy).
+    """
+
+    outcome: RowBufferOutcome
+    issue_ns: float
+    data_ns: float
+    activated: bool
+
+
+class Bank:
+    """One DRAM bank with an open-page policy."""
+
+    __slots__ = ("_timings", "_open_row", "_busy_until_ns", "hits",
+                 "closed", "conflicts")
+
+    def __init__(self, timings: DeviceTimings) -> None:
+        self._timings = timings
+        self._open_row: int | None = None
+        self._busy_until_ns = 0.0
+        self.hits = 0
+        self.closed = 0
+        self.conflicts = 0
+
+    @property
+    def open_row(self) -> int | None:
+        """The currently open row, or None when precharged."""
+        return self._open_row
+
+    @property
+    def busy_until_ns(self) -> float:
+        return self._busy_until_ns
+
+    def access(self, row: int, now_ns: float) -> BankAccess:
+        """Perform a column access to ``row`` at time ``now_ns``.
+
+        The bank serialises with itself: an access arriving while the bank
+        is busy waits for the previous one to finish.
+        """
+        t = self._timings
+        issue = max(now_ns, self._busy_until_ns)
+        if self._open_row == row:
+            outcome = RowBufferOutcome.HIT
+            latency = t.row_hit_ns
+            self.hits += 1
+            activated = False
+        elif self._open_row is None:
+            outcome = RowBufferOutcome.CLOSED
+            latency = t.row_closed_ns
+            self.closed += 1
+            activated = True
+        else:
+            outcome = RowBufferOutcome.CONFLICT
+            latency = t.row_conflict_ns
+            self.conflicts += 1
+            activated = True
+        data = issue + latency
+        self._open_row = row
+        self._busy_until_ns = data
+        return BankAccess(outcome=outcome, issue_ns=issue, data_ns=data,
+                          activated=activated)
+
+    def precharge_all(self) -> None:
+        """Close the open row (e.g. around a refresh window)."""
+        self._open_row = None
+
+    def reset(self) -> None:
+        """Return the bank to its power-on state, clearing statistics."""
+        self._open_row = None
+        self._busy_until_ns = 0.0
+        self.hits = 0
+        self.closed = 0
+        self.conflicts = 0

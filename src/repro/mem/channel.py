@@ -1,0 +1,137 @@
+"""One memory channel: banks sharing a data bus, with two traffic classes.
+
+Bank-level parallelism is modelled faithfully (each bank has its own
+row-buffer FSM and busy window) while the shared data bus serialises burst
+transfers.  Traffic is split into two priority classes, matching how real
+memory controllers schedule migration engines:
+
+* **Demand** accesses (:meth:`access`) serialise against each other on the
+  bus and pay precise FSM latency.
+* **Movement** traffic (:meth:`bulk_transfer` — migrations, evictions,
+  fills) is *lower priority*: it accumulates into a bandwidth backlog that
+  drains through otherwise-idle bus time.  A demand access arriving while
+  movement is in flight waits for at most one movement chunk (the burst
+  that cannot be preempted), so heavy movement degrades demand latency
+  smoothly instead of convoying requests behind multi-microsecond page
+  copies — while still consuming real bandwidth, delaying *later* movement
+  and keeping the device busy for energy purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bank import Bank, RowBufferOutcome
+from .energy import EnergyCounters
+from .timing import DeviceConfig
+
+#: Movement is preemptible at this granularity: a demand access waits for
+#: at most one in-flight chunk of a bulk transfer.
+MOVEMENT_CHUNK_BYTES = 512
+
+
+@dataclass(frozen=True)
+class ChannelAccess:
+    """Timing result of one demand access on a channel."""
+
+    start_ns: float
+    done_ns: float
+    outcome: RowBufferOutcome
+
+    @property
+    def latency_ns(self) -> float:
+        return self.done_ns - self.start_ns
+
+
+class Channel:
+    """A single channel with ``banks_per_channel`` banks and one data bus."""
+
+    def __init__(self, config: DeviceConfig, index: int) -> None:
+        self._config = config
+        self.index = index
+        self._banks = [Bank(config.timings)
+                       for _ in range(config.geometry.banks_per_channel)]
+        self._bus_free_ns = 0.0
+        self._backlog_ns = 0.0
+        self._backlog_at_ns = 0.0
+        self._chunk_ns = config.burst_ns(MOVEMENT_CHUNK_BYTES)
+        self.counters = EnergyCounters()
+        self.read_bytes = 0
+        self.write_bytes = 0
+
+    @property
+    def banks(self) -> list[Bank]:
+        return self._banks
+
+    @property
+    def bus_free_ns(self) -> float:
+        return self._bus_free_ns
+
+    def movement_backlog_ns(self, now_ns: float) -> float:
+        """Outstanding movement bus time at ``now_ns`` (after draining)."""
+        self._drain_backlog(now_ns)
+        return self._backlog_ns
+
+    def _drain_backlog(self, now_ns: float) -> None:
+        if now_ns > self._backlog_at_ns:
+            self._backlog_ns = max(
+                0.0, self._backlog_ns - (now_ns - self._backlog_at_ns))
+            self._backlog_at_ns = now_ns
+
+    def access(self, bank: int, row: int, nbytes: int, is_write: bool,
+               now_ns: float) -> ChannelAccess:
+        """A demand access: full bank FSM, bus serialisation, and at most
+        one movement chunk of interference."""
+        self._drain_backlog(now_ns)
+        bank_result = self._banks[bank].access(row, now_ns)
+        burst = self._config.burst_ns(nbytes)
+        interference = min(self._backlog_ns, self._chunk_ns)
+        transfer_start = max(bank_result.data_ns,
+                             self._bus_free_ns) + interference
+        done = transfer_start + burst
+        self._bus_free_ns = done
+        self._account(nbytes, is_write, bank_result.activated, done)
+        return ChannelAccess(start_ns=now_ns, done_ns=done,
+                             outcome=bank_result.outcome)
+
+    def bulk_transfer(self, nbytes: int, is_write: bool,
+                      now_ns: float, rows_touched: int = 1) -> float:
+        """Queue ``nbytes`` of low-priority movement traffic.
+
+        The transfer consumes bandwidth by extending the channel's movement
+        backlog; its estimated completion (queue drain time) is returned.
+        ``rows_touched`` activations are charged (a large sequential
+        transfer opens each row it crosses once).
+        """
+        self._drain_backlog(now_ns)
+        burst = self._config.burst_ns(nbytes)
+        self._backlog_ns += burst
+        done = now_ns + self._backlog_ns
+        self.counters.activations += rows_touched
+        self._account(nbytes, is_write, activated=False, done_ns=done)
+        return done
+
+    def _account(self, nbytes: int, is_write: bool, activated: bool,
+                 done_ns: float) -> None:
+        burst_bytes = (self._config.timings.burst_length
+                       * self._config.geometry.bus_bytes)
+        bursts = max(1, (nbytes + burst_bytes - 1) // burst_bytes)
+        if activated:
+            self.counters.activations += 1
+        if is_write:
+            self.counters.write_bursts += bursts
+            self.write_bytes += nbytes
+        else:
+            self.counters.read_bursts += bursts
+            self.read_bytes += nbytes
+        self.counters.busy_ns = max(self.counters.busy_ns, done_ns)
+
+    def reset(self) -> None:
+        for bank in self._banks:
+            bank.reset()
+        self._bus_free_ns = 0.0
+        self._backlog_ns = 0.0
+        self._backlog_at_ns = 0.0
+        self.counters = EnergyCounters()
+        self.read_bytes = 0
+        self.write_bytes = 0

@@ -1,0 +1,136 @@
+"""Multi-channel memory device: the unit controllers talk to.
+
+A :class:`MemoryDevice` owns the channels of one physical memory (the HBM
+stack or the off-chip DDR4 module), decodes device-local addresses through
+the interleaved :class:`AddressMapper`, and aggregates traffic and energy
+statistics.  Two access styles are offered:
+
+* :meth:`access` — a demand access on the critical path; returns precise
+  latency from the bank FSM and bus queue.
+* :meth:`bulk_transfer` — asynchronous data movement (migration, eviction,
+  fill); consumes bandwidth and counts traffic but the caller does not stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .address import AddressMapper
+from .channel import Channel, ChannelAccess
+from .energy import EnergyBreakdown, EnergyCounters, EnergyModel
+from .timing import DeviceConfig
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Byte traffic through a device."""
+
+    read_bytes: int
+    write_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+
+class MemoryDevice:
+    """One physical memory (HBM stack or DDR4 module)."""
+
+    def __init__(self, config: DeviceConfig) -> None:
+        self._config = config
+        self._mapper = AddressMapper(config.geometry)
+        self._channels = [Channel(config, i)
+                          for i in range(config.geometry.channels)]
+        self._energy_model = EnergyModel(config)
+
+    @property
+    def config(self) -> DeviceConfig:
+        return self._config
+
+    @property
+    def name(self) -> str:
+        return self._config.name
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._config.geometry.capacity_bytes
+
+    @property
+    def channels(self) -> list[Channel]:
+        return self._channels
+
+    @property
+    def mapper(self) -> AddressMapper:
+        return self._mapper
+
+    def access(self, addr: int, nbytes: int, is_write: bool,
+               now_ns: float) -> ChannelAccess:
+        """Demand access at device-local byte address ``addr``."""
+        decoded = self._mapper.decode(addr)
+        channel = self._channels[decoded.channel]
+        return channel.access(decoded.bank, decoded.row, nbytes,
+                              is_write, now_ns)
+
+    def bulk_transfer(self, addr: int, nbytes: int, is_write: bool,
+                      now_ns: float) -> float:
+        """Asynchronous streaming transfer of ``nbytes`` starting at ``addr``.
+
+        The transfer is striped across all channels (matching the
+        interleaved address map), each channel moving an equal share.
+
+        Returns:
+            Completion time (ns) of the slowest participating channel.
+        """
+        if nbytes <= 0:
+            return now_ns
+        g = self._config.geometry
+        # Only as many channels participate as the transfer has
+        # interleave chunks — a 64B fill touches one channel and one row,
+        # not the whole stack.
+        chunks = max(1, (nbytes + g.interleave_bytes - 1)
+                     // g.interleave_bytes)
+        channels_used = min(g.channels, chunks)
+        share = (nbytes + channels_used - 1) // channels_used
+        rows = max(1, share // g.row_bytes)
+        done = now_ns
+        remaining = nbytes
+        start_channel = self._mapper.decode(addr).channel
+        for i in range(channels_used):
+            if remaining <= 0:
+                break
+            chunk = min(share, remaining)
+            channel = self._channels[(start_channel + i) % g.channels]
+            done = max(done, channel.bulk_transfer(chunk, is_write, now_ns,
+                                                   rows_touched=rows))
+            remaining -= chunk
+        return done
+
+    def traffic(self) -> TrafficStats:
+        return TrafficStats(
+            read_bytes=sum(c.read_bytes for c in self._channels),
+            write_bytes=sum(c.write_bytes for c in self._channels),
+        )
+
+    def energy(self, elapsed_ns: float) -> EnergyBreakdown:
+        """Aggregate energy across channels over ``elapsed_ns`` of runtime."""
+        merged = EnergyCounters()
+        for channel in self._channels:
+            merged.activations += channel.counters.activations
+            merged.read_bursts += channel.counters.read_bursts
+            merged.write_bursts += channel.counters.write_bursts
+        merged.refreshes = self._energy_model.refresh_count(elapsed_ns)
+        return self._energy_model.breakdown(merged, elapsed_ns)
+
+    def row_buffer_stats(self) -> dict[str, int]:
+        """Aggregate row-buffer outcome counts across every bank."""
+        hits = closed = conflicts = 0
+        for channel in self._channels:
+            for bank in channel.banks:
+                hits += bank.hits
+                closed += bank.closed
+                conflicts += bank.conflicts
+        return {"hits": hits, "closed": closed, "conflicts": conflicts}
+
+    def reset(self) -> None:
+        for channel in self._channels:
+            channel.reset()

@@ -1,0 +1,26 @@
+"""Simulation engine: requests, statistics, events, CPU model, and driver."""
+
+from .cpu import CpuModel
+from .driver import SimResult, SimulationDriver
+from .engine import EventEngine, EventHandle
+from .fullstack import RawAccess, raw_access_stream, run_full_stack
+from .request import CACHE_LINE_BYTES, AccessResult, MemoryRequest, ServicedBy
+from .stats import Histogram, StatGroup, geomean
+
+__all__ = [
+    "CpuModel",
+    "SimResult",
+    "SimulationDriver",
+    "EventEngine",
+    "EventHandle",
+    "RawAccess",
+    "raw_access_stream",
+    "run_full_stack",
+    "AccessResult",
+    "MemoryRequest",
+    "ServicedBy",
+    "CACHE_LINE_BYTES",
+    "Histogram",
+    "StatGroup",
+    "geomean",
+]

@@ -1,0 +1,220 @@
+"""The trace -> controller -> CPU simulation loop.
+
+:class:`SimulationDriver` feeds a request stream (any iterable of
+:class:`MemoryRequest`) into a hybrid memory controller, advances wall time
+through the analytic CPU model, and collects the :class:`SimResult` that
+every experiment in the paper is derived from: achieved IPC, per-device
+traffic, per-device dynamic energy, and the controller's own statistics
+(hit rates, over-fetch, metadata-access latency, movement counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, TYPE_CHECKING
+
+from ..mem.energy import EnergyBreakdown
+from .cpu import CpuModel
+from .request import AccessResult, MemoryRequest, ServicedBy
+from .stats import Histogram
+
+#: Latency histogram bucket bounds (ns): sub-row-hit through fault-class.
+LATENCY_BOUNDS = [10.0, 20.0, 30.0, 50.0, 80.0, 120.0, 200.0, 400.0,
+                  1000.0]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..baselines.base import HybridMemoryController
+
+
+@dataclass
+class SimResult:
+    """Everything measured in one simulation run.
+
+    All figures in the paper normalise against a no-HBM baseline run of the
+    same trace; use :meth:`normalised_ipc` etc. with that baseline result.
+    """
+
+    controller: str
+    workload: str
+    instructions: int
+    requests: int
+    elapsed_ns: float
+    total_latency_ns: float
+    total_metadata_ns: float
+    hbm_hits: int
+    hbm_read_bytes: int
+    hbm_write_bytes: int
+    dram_read_bytes: int
+    dram_write_bytes: int
+    hbm_energy: EnergyBreakdown
+    dram_energy: EnergyBreakdown
+    cpu: CpuModel
+    controller_stats: dict[str, int] = field(default_factory=dict)
+    metadata_bytes: int = 0
+    latency_histogram: Histogram | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.cpu.ipc(self.instructions, self.elapsed_ns)
+
+    @property
+    def hbm_hit_rate(self) -> float:
+        return self.hbm_hits / self.requests if self.requests else 0.0
+
+    @property
+    def avg_latency_ns(self) -> float:
+        return self.total_latency_ns / self.requests if self.requests else 0.0
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Approximate latency percentile from the histogram (upper
+        bucket bound of the bucket containing the percentile).
+
+        Raises:
+            ValueError: when no histogram was collected or the
+                percentile is outside (0, 100].
+        """
+        if self.latency_histogram is None:
+            raise ValueError("run() did not collect a latency histogram")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        hist = self.latency_histogram
+        target = percentile / 100.0 * hist.total
+        cumulative = 0
+        for index, count in enumerate(hist.counts):
+            cumulative += count
+            if cumulative >= target:
+                if index < len(hist.bounds):
+                    return hist.bounds[index]
+                return float("inf")
+        return float("inf")
+
+    @property
+    def metadata_latency_fraction(self) -> float:
+        """MAL share of total request latency (paper §II-B: 2%-26%)."""
+        if self.total_latency_ns == 0:
+            return 0.0
+        return self.total_metadata_ns / self.total_latency_ns
+
+    @property
+    def hbm_traffic_bytes(self) -> int:
+        return self.hbm_read_bytes + self.hbm_write_bytes
+
+    @property
+    def dram_traffic_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def dynamic_energy_pj(self) -> float:
+        return self.hbm_energy.dynamic_pj + self.dram_energy.dynamic_pj
+
+    def normalised_ipc(self, baseline: "SimResult") -> float:
+        return self.ipc / baseline.ipc
+
+    def normalised_traffic(self, baseline: "SimResult",
+                           device: str) -> float:
+        if device == "hbm":
+            mine, theirs = self.hbm_traffic_bytes, baseline.hbm_traffic_bytes
+        elif device == "dram":
+            mine, theirs = (self.dram_traffic_bytes,
+                            baseline.dram_traffic_bytes)
+        else:
+            raise ValueError(f"unknown device {device!r}")
+        return mine / theirs if theirs else 0.0
+
+    def normalised_energy(self, baseline: "SimResult") -> float:
+        if baseline.dynamic_energy_pj == 0:
+            return 0.0
+        return self.dynamic_energy_pj / baseline.dynamic_energy_pj
+
+
+class SimulationDriver:
+    """Runs request streams against hybrid memory controllers."""
+
+    def __init__(self, cpu: CpuModel | None = None) -> None:
+        self.cpu = cpu or CpuModel()
+
+    def run(self, controller: "HybridMemoryController",
+            trace: Iterable[MemoryRequest],
+            workload: str = "unnamed",
+            max_requests: int | None = None,
+            warmup: int = 0) -> SimResult:
+        """Simulate ``trace`` through ``controller`` to completion.
+
+        Args:
+            controller: Any object implementing the
+                :class:`~repro.baselines.base.HybridMemoryController`
+                protocol.
+            trace: Iterable of :class:`MemoryRequest`.
+            workload: Label recorded in the result.
+            max_requests: Optional cap on the number of requests consumed
+                (measured requests, after warm-up).
+            warmup: Requests used to warm the controller's metadata and
+                data placement before measurement begins.  Traffic,
+                energy, latency, and statistics counters are reset at the
+                warm-up boundary — the trace-driven equivalent of the
+                paper's SimPoint warm-up, without which one-time
+                cold-start movement dominates the traffic ratios.
+
+        Returns:
+            A fully populated :class:`SimResult` (measured window only).
+        """
+        now_ns = 0.0
+        measure_start_ns = 0.0
+        instructions = 0
+        requests = 0
+        seen = 0
+        total_latency = 0.0
+        total_metadata = 0.0
+        hbm_hits = 0
+        histogram = Histogram(bounds=list(LATENCY_BOUNDS))
+        for request in trace:
+            if max_requests is not None and requests >= max_requests:
+                break
+            if seen == warmup and warmup:
+                controller.reset_measurements()
+                measure_start_ns = now_ns
+                instructions = 0
+                total_latency = 0.0
+                total_metadata = 0.0
+                hbm_hits = 0
+                requests = 0
+                histogram = Histogram(bounds=list(LATENCY_BOUNDS))
+            seen += 1
+            now_ns += self.cpu.compute_ns(request.icount)
+            instructions += request.icount
+            fault_ns = controller.page_fault_penalty_ns(request)
+            result = controller.access(request, now_ns + fault_ns)
+            latency_ns = result.latency_ns + fault_ns
+            now_ns += self.cpu.stall_ns(latency_ns)
+            total_latency += latency_ns
+            total_metadata += result.metadata_ns
+            histogram.add(latency_ns)
+            if result.hbm_hit:
+                hbm_hits += 1
+            requests += 1
+        controller.finish(now_ns)
+        now_ns -= measure_start_ns
+        hbm_traffic = controller.hbm.traffic() if controller.hbm else None
+        dram_traffic = controller.dram.traffic()
+        zero = EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+        return SimResult(
+            controller=controller.name,
+            workload=workload,
+            instructions=instructions,
+            requests=requests,
+            elapsed_ns=now_ns if now_ns > 0 else 1.0,
+            total_latency_ns=total_latency,
+            total_metadata_ns=total_metadata,
+            hbm_hits=hbm_hits,
+            hbm_read_bytes=hbm_traffic.read_bytes if hbm_traffic else 0,
+            hbm_write_bytes=hbm_traffic.write_bytes if hbm_traffic else 0,
+            dram_read_bytes=dram_traffic.read_bytes,
+            dram_write_bytes=dram_traffic.write_bytes,
+            hbm_energy=(controller.hbm.energy(now_ns)
+                        if controller.hbm else zero),
+            dram_energy=controller.dram.energy(now_ns),
+            cpu=self.cpu,
+            controller_stats=controller.stats.as_dict(),
+            metadata_bytes=controller.metadata_bytes(),
+            latency_histogram=histogram,
+        )

@@ -1,0 +1,108 @@
+"""Minimal discrete-event engine for asynchronous activities.
+
+Hybrid memory controllers move data asynchronously (the paper's "data
+movement module").  The engine provides ordered callback scheduling so a
+controller can model movement completions, periodic sweeps (e.g. the
+high-memory-footprint batch flush), or zombie-page timers without embedding
+ad-hoc queues everywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    when_ns: float
+    seq: int
+    action: Callable[[float], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing a scheduled event to be cancelled."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when_ns(self) -> float:
+        return self._event.when_ns
+
+
+class EventEngine:
+    """A priority-queue discrete-event scheduler.
+
+    Events scheduled at the same timestamp fire in insertion order, which
+    keeps controller behaviour deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._now_ns = 0.0
+        self.fired = 0
+
+    @property
+    def now_ns(self) -> float:
+        return self._now_ns
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, when_ns: float,
+                 action: Callable[[float], None]) -> EventHandle:
+        """Schedule ``action(now_ns)`` to run at ``when_ns``.
+
+        Raises:
+            ValueError: when scheduling in the past.
+        """
+        if when_ns < self._now_ns:
+            raise ValueError(
+                f"cannot schedule at {when_ns} before now {self._now_ns}")
+        event = _Event(when_ns=when_ns, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def advance_to(self, when_ns: float) -> int:
+        """Fire every event due at or before ``when_ns``.
+
+        Returns:
+            The number of events fired.
+        """
+        fired = 0
+        while self._queue and self._queue[0].when_ns <= when_ns:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now_ns = event.when_ns
+            event.action(event.when_ns)
+            fired += 1
+        self._now_ns = max(self._now_ns, when_ns)
+        self.fired += fired
+        return fired
+
+    def drain(self) -> int:
+        """Fire every remaining event in timestamp order."""
+        fired = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now_ns = event.when_ns
+            event.action(event.when_ns)
+            fired += 1
+        self.fired += fired
+        return fired

@@ -1,0 +1,63 @@
+"""Memory request and access-result records.
+
+A :class:`MemoryRequest` is one LLC-miss reaching the hybrid memory
+controller: a physical byte address in the flat OS-visible address space,
+a read/write flag, and the instruction-count gap since the previous miss
+(used by the CPU model to interleave compute with memory stalls).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+CACHE_LINE_BYTES = 64
+
+
+class ServicedBy(enum.Enum):
+    """Which physical memory ultimately served the demand data."""
+
+    HBM = "hbm"
+    DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One LLC-miss memory request.
+
+    Attributes:
+        addr: Physical byte address in the flat OS address space.
+        is_write: True for a writeback/dirty-miss, False for a read fill.
+        icount: Instructions retired since the previous request (drives the
+            analytic CPU model's compute phase).
+        size: Access size in bytes (one cache line unless noted).
+    """
+
+    addr: int
+    is_write: bool = False
+    icount: int = 100
+    size: int = CACHE_LINE_BYTES
+
+    @property
+    def line(self) -> int:
+        return self.addr // CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """The controller's answer to one request.
+
+    Attributes:
+        latency_ns: Critical-path latency seen by the core, including any
+            metadata-access latency the design incurs.
+        serviced_by: Which device returned the demand data.
+        metadata_ns: Portion of ``latency_ns`` spent on metadata lookups
+            (nonzero only for designs holding metadata in HBM/DRAM).
+        hbm_hit: True when the demand data was found in HBM.
+    """
+
+    latency_ns: float
+    serviced_by: ServicedBy
+    metadata_ns: float = 0.0
+    hbm_hit: bool = False

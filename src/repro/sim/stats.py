@@ -1,0 +1,110 @@
+"""Lightweight statistics machinery shared by the simulator.
+
+Provides named counters and fixed-bucket histograms, similar in spirit to
+gem5's stats package but flat and pickle-friendly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class StatGroup:
+    """A named bundle of integer counters.
+
+    Counters auto-vivify at zero, so controllers can ``bump`` freely without
+    pre-declaring every statistic.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Counter[str] = Counter()
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self._counters.get(key, default)
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot of every counter."""
+        return dict(self._counters)
+
+    def merge(self, other: "StatGroup") -> None:
+        self._counters.update(other._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(
+            self._counters.items()))
+        return f"StatGroup({self.name}: {inner})"
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram over non-negative samples.
+
+    Args:
+        bounds: Ascending upper bounds; a sample falls in the first bucket
+            whose bound it is strictly below, else the overflow bucket.
+    """
+
+    bounds: list[float]
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+
+    def __post_init__(self) -> None:
+        if sorted(self.bounds) != list(self.bounds):
+            raise ValueError("histogram bounds must be ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def add(self, sample: float, weight: int = 1) -> None:
+        """Record ``sample`` with multiplicity ``weight``."""
+        for i, bound in enumerate(self.bounds):
+            if sample < bound:
+                self.counts[i] += weight
+                break
+        else:
+            self.counts[-1] += weight
+        self.total += weight
+
+    def fractions(self) -> list[float]:
+        """Per-bucket fractions of the total (zeros when empty)."""
+        if self.total == 0:
+            return [0.0] * len(self.counts)
+        return [c / self.total for c in self.counts]
+
+    def labels(self) -> list[str]:
+        """Human-readable bucket labels."""
+        out = []
+        low: float = 0.0
+        for bound in self.bounds:
+            out.append(f"[{low:g}, {bound:g})")
+            low = bound
+        out.append(f"[{low:g}, inf)")
+        return out
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    Raises:
+        ValueError: on an empty list or any non-positive value.
+    """
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product_log = 0.0
+    import math
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        product_log += math.log(value)
+    return math.exp(product_log / len(values))

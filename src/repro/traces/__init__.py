@@ -1,0 +1,79 @@
+"""Workload layer: synthetic locality-controlled traces and Table II specs."""
+
+from .spec import (
+    DEFAULT_SCALE,
+    MPKI_GROUPS,
+    PAPER_SCALE,
+    SPEC2017,
+    BenchmarkSpec,
+    SystemScale,
+    synthetic_spec,
+    workload_trace,
+)
+from .importers import (
+    import_trace,
+    read_csv_trace,
+    read_gem5_trace,
+    read_pin_trace,
+)
+from .phases import (
+    QUADRANTS,
+    Phase,
+    PhaseSchedule,
+    markov_phases,
+    table2_phases,
+    windowed_hit_rates,
+)
+from .mixes import (
+    MIX_PRESETS,
+    MixMember,
+    build_mix,
+    member_share,
+    mix_trace,
+    preset_mix_trace,
+)
+from .synthetic import SyntheticSpec, SyntheticTraceGenerator, phase_shift_trace
+from .trace import (
+    TraceSummary,
+    interleave,
+    load_trace,
+    save_trace,
+    summarise,
+    take,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "SystemScale",
+    "SPEC2017",
+    "MPKI_GROUPS",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "synthetic_spec",
+    "workload_trace",
+    "SyntheticSpec",
+    "SyntheticTraceGenerator",
+    "phase_shift_trace",
+    "MIX_PRESETS",
+    "MixMember",
+    "build_mix",
+    "mix_trace",
+    "preset_mix_trace",
+    "member_share",
+    "Phase",
+    "PhaseSchedule",
+    "QUADRANTS",
+    "table2_phases",
+    "markov_phases",
+    "windowed_hit_rates",
+    "import_trace",
+    "read_csv_trace",
+    "read_gem5_trace",
+    "read_pin_trace",
+    "TraceSummary",
+    "interleave",
+    "load_trace",
+    "save_trace",
+    "summarise",
+    "take",
+]

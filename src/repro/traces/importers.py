@@ -1,0 +1,155 @@
+"""Importers for external memory-trace formats.
+
+Users bringing their own traces (gem5 packet dumps, Intel PIN memory
+logs, CSV exports) can convert them into the simulator's request stream
+without writing glue code.  All importers are line-streaming (constant
+memory), skip blank/comment lines, and raise on malformed records with
+the offending line number.
+
+Supported formats:
+
+* ``csv``    — ``addr,rw,icount`` with optional header; ``rw`` is
+  ``R``/``W`` (case-insensitive) or ``0``/``1``.
+* ``gem5``   — the classic ``system.mem_ctrl`` packet-trace style:
+  ``<tick>: <name>: <cmd> <addr> ...`` keeping only read/write requests.
+* ``pin``    — PIN-style ``<ip>: <R|W> <addr>`` lines.
+
+Instruction counts: formats without instruction information take a
+fixed ``icount`` per record (choose ``1000 / target_mpki``).
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from ..sim.request import MemoryRequest
+
+
+def _parse_rw(token: str, line_no: int) -> bool:
+    lowered = token.strip().lower()
+    if lowered in ("r", "rd", "read", "0"):
+        return False
+    if lowered in ("w", "wr", "write", "1"):
+        return True
+    raise ValueError(f"line {line_no}: unrecognised read/write flag "
+                     f"{token!r}")
+
+
+def _parse_addr(token: str, line_no: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 16) if token.lower().startswith("0x") \
+            else int(token)
+    except ValueError:
+        raise ValueError(f"line {line_no}: bad address {token!r}") \
+            from None
+
+
+def read_csv_trace(lines: Iterable[str],
+                   default_icount: int = 100) -> Iterator[MemoryRequest]:
+    """Parse ``addr,rw[,icount]`` records (header auto-detected).
+
+    Raises:
+        ValueError: on malformed rows, with the row number.
+    """
+    reader = _csv.reader(lines)
+    for line_no, row in enumerate(reader, start=1):
+        if not row or row[0].strip().startswith("#"):
+            continue
+        first = row[0].strip().lower()
+        if first in ("addr", "address"):
+            continue  # header
+        if len(row) < 2:
+            raise ValueError(f"line {line_no}: expected at least "
+                             f"addr,rw — got {row!r}")
+        addr = _parse_addr(row[0], line_no)
+        is_write = _parse_rw(row[1], line_no)
+        icount = int(row[2]) if len(row) > 2 and row[2].strip() \
+            else default_icount
+        yield MemoryRequest(addr=addr, is_write=is_write, icount=icount)
+
+
+def read_gem5_trace(lines: Iterable[str],
+                    default_icount: int = 100) -> Iterator[MemoryRequest]:
+    """Parse gem5 packet-trace style lines.
+
+    Expected shape: ``<tick>: <object>: <Cmd> request @<addr> ...`` or
+    ``<tick>,<cmd>,<addr>``; only ReadReq/WriteReq-class commands are
+    kept, everything else is skipped silently (gem5 dumps carry many
+    maintenance packets).
+    """
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        normalised = line.replace(",", " ").replace(":", " ")
+        tokens = normalised.split()
+        command = None
+        addr_token = None
+        for index, token in enumerate(tokens):
+            lowered = token.lower()
+            if lowered in ("readreq", "read", "readexreq"):
+                command = "r"
+            elif lowered in ("writereq", "write", "writebackdirty"):
+                command = "w"
+            if token.startswith("@"):
+                addr_token = token[1:]
+            elif token.startswith("0x"):
+                addr_token = token
+        if command is None or addr_token is None:
+            continue
+        yield MemoryRequest(addr=_parse_addr(addr_token, line_no),
+                            is_write=command == "w",
+                            icount=default_icount)
+
+
+def read_pin_trace(lines: Iterable[str],
+                   default_icount: int = 100) -> Iterator[MemoryRequest]:
+    """Parse PIN-style ``<ip>: <R|W> <addr>`` lines.
+
+    Raises:
+        ValueError: on malformed lines.
+    """
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.replace(":", " ").split()
+        if len(parts) < 3:
+            raise ValueError(f"line {line_no}: expected "
+                             f"'<ip>: <R|W> <addr>', got {line!r}")
+        is_write = _parse_rw(parts[-2], line_no)
+        addr = _parse_addr(parts[-1], line_no)
+        yield MemoryRequest(addr=addr, is_write=is_write,
+                            icount=default_icount)
+
+
+_READERS = {
+    "csv": read_csv_trace,
+    "gem5": read_gem5_trace,
+    "pin": read_pin_trace,
+}
+
+
+def import_trace(path: str | Path, fmt: str = "csv",
+                 default_icount: int = 100) -> Iterator[MemoryRequest]:
+    """Stream an external trace file as :class:`MemoryRequest` records.
+
+    Args:
+        path: Trace file.
+        fmt: One of ``csv``, ``gem5``, ``pin``.
+        default_icount: Instructions charged per record when the format
+            carries none (pick ``round(1000 / target_mpki)``).
+
+    Raises:
+        ValueError: for an unknown format or malformed content.
+    """
+    try:
+        reader = _READERS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown trace format {fmt!r}; "
+                         f"supported: {sorted(_READERS)}") from None
+    with open(path) as fh:
+        yield from reader(fh, default_icount=default_icount)

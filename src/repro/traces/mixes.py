@@ -1,0 +1,150 @@
+"""Multi-programmed workload mixes.
+
+The Table I system is a multi-core cluster; beyond the paper's rate-style
+per-benchmark runs, heterogeneous-memory studies commonly evaluate
+*mixes* — several benchmarks co-running with the memory system seeing
+their interleaved miss streams.  A mix stresses exactly what Bumblebee
+claims to handle: different regions of the address space want different
+cHBM:mHBM treatment *at the same time*, not just across program phases.
+
+Each member of a mix occupies a disjoint region of the flat OS address
+space (via ``base_addr``); streams interleave in proportion to their MPKI
+(a higher-MPKI program misses more often per unit time), matching how a
+shared memory controller would observe them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..sim.request import MemoryRequest
+from .spec import SPEC2017, DEFAULT_SCALE, SystemScale, synthetic_spec
+from .synthetic import SyntheticSpec, SyntheticTraceGenerator
+
+#: Canonical mixes, one per locality regime the paper's motivation names.
+MIX_PRESETS: dict[str, tuple[str, ...]] = {
+    # strong spatial + strong temporal against capacity pressure
+    "mix-capacity": ("mcf", "roms"),
+    # the Figure 1 trio co-running
+    "mix-fig1": ("mcf", "wrf", "xz"),
+    # bandwidth-hungry HPC pair plus a pointer chaser
+    "mix-bandwidth": ("lbm", "bwaves", "xalancbmk"),
+    # low-MPKI background with one aggressor
+    "mix-aggressor": ("leela", "namd", "roms"),
+}
+
+
+@dataclass(frozen=True)
+class MixMember:
+    """One program of a mix, pinned to its own address region."""
+
+    spec: SyntheticSpec
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("mix member weight must be positive")
+
+
+def build_mix(names: Sequence[str],
+              scale: SystemScale = DEFAULT_SCALE,
+              region_bytes: int | None = None) -> list[MixMember]:
+    """Construct mix members with disjoint address regions.
+
+    Args:
+        names: Table II benchmark names (duplicates allowed — a "rate"
+            mix runs several copies).
+        scale: System scale used for footprints.
+        region_bytes: Size of each member's region; defaults to the
+            largest member footprint, rounded up to a 64KB page.
+
+    Returns:
+        Mix members whose ``spec.base_addr`` values tile the address
+        space without overlap, weighted by their MPKI.
+
+    Raises:
+        KeyError: for unknown benchmark names.
+        ValueError: for an empty mix.
+    """
+    if not names:
+        raise ValueError("a mix needs at least one member")
+    specs = [synthetic_spec(name, scale) for name in names]
+    page = 64 * 1024
+    if region_bytes is None:
+        region_bytes = max(spec.footprint_bytes for spec in specs)
+    region_bytes = (region_bytes + page - 1) // page * page
+    members = []
+    for index, spec in enumerate(specs):
+        placed = SyntheticSpec(
+            name=f"{spec.name}#{index}",
+            footprint_bytes=min(spec.footprint_bytes, region_bytes),
+            spatial=spec.spatial,
+            temporal=spec.temporal,
+            mpki=spec.mpki,
+            write_fraction=spec.write_fraction,
+            hot_fraction=spec.hot_fraction,
+            base_addr=index * region_bytes,
+        )
+        members.append(MixMember(spec=placed, weight=spec.mpki))
+    return members
+
+
+def mix_trace(members: Sequence[MixMember], n_requests: int,
+              seed: int = 1234) -> Iterator[MemoryRequest]:
+    """Interleave member miss streams in miss-rate proportion.
+
+    A virtual-time merge: each member advances a clock by
+    ``1 / weight`` per emitted request, and the globally earliest member
+    emits next — deterministic, starvation-free, and rate-accurate.
+    Instruction counts are rescaled so the merged stream's aggregate
+    MPKI equals the sum of the members' rates.
+    """
+    if not members:
+        raise ValueError("a mix needs at least one member")
+    total_weight = sum(m.weight for m in members)
+    iterators = []
+    heap: list[tuple[float, int]] = []
+    for index, member in enumerate(members):
+        generator = SyntheticTraceGenerator(member.spec, seed=seed + index)
+        iterators.append(iter(generator))
+        heapq.heappush(heap, (1.0 / member.weight, index))
+    merged_icount = max(1, round(1000.0 / total_weight))
+    emitted = 0
+    while emitted < n_requests:
+        clock, index = heapq.heappop(heap)
+        request = next(iterators[index])
+        yield MemoryRequest(addr=request.addr, is_write=request.is_write,
+                            icount=merged_icount)
+        emitted += 1
+        heapq.heappush(heap, (clock + 1.0 / members[index].weight, index))
+
+
+def preset_mix_trace(name: str, n_requests: int,
+                     scale: SystemScale = DEFAULT_SCALE,
+                     seed: int = 1234) -> list[MemoryRequest]:
+    """Materialise one of the canonical :data:`MIX_PRESETS`.
+
+    Raises:
+        KeyError: for an unknown preset name.
+    """
+    members = build_mix(MIX_PRESETS[name], scale)
+    return list(mix_trace(members, n_requests, seed=seed))
+
+
+def member_share(members: Sequence[MixMember],
+                 trace: Sequence[MemoryRequest]) -> dict[str, float]:
+    """Fraction of a merged trace's requests belonging to each member."""
+    if not members:
+        raise ValueError("a mix needs at least one member")
+    regions = sorted((m.spec.base_addr, m.spec.name) for m in members)
+    counts = {name: 0 for _, name in regions}
+    bases = [base for base, _ in regions]
+    names = [name for _, name in regions]
+    import bisect
+    for request in trace:
+        slot = bisect.bisect_right(bases, request.addr) - 1
+        counts[names[slot]] += 1
+    total = len(trace) or 1
+    return {name: count / total for name, count in counts.items()}

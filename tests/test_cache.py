@@ -1,0 +1,164 @@
+"""Tests for the set-associative cache, replacement policies, hierarchy."""
+
+import pytest
+
+from repro.cache import (
+    CacheHierarchy,
+    DRRIPPolicy,
+    HierarchyConfig,
+    LRUPolicy,
+    SetAssociativeCache,
+    SRRIPPolicy,
+    make_policy,
+)
+
+
+class TestLRUPolicy:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy()
+        state = policy.new_set_state(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(state, way)
+        policy.on_hit(state, 0)
+        assert policy.victim(state) == 1
+
+    def test_fill_becomes_mru(self):
+        policy = LRUPolicy()
+        state = policy.new_set_state(2)
+        policy.on_fill(state, 0)
+        policy.on_fill(state, 1)
+        assert policy.victim(state) == 0
+
+
+class TestSRRIPPolicy:
+    def test_hit_promotes(self):
+        policy = SRRIPPolicy()
+        state = policy.new_set_state(2)
+        policy.on_fill(state, 0)
+        policy.on_fill(state, 1)
+        policy.on_hit(state, 0)
+        assert policy.victim(state) == 1
+
+    def test_aging_terminates(self):
+        policy = SRRIPPolicy()
+        state = policy.new_set_state(4)
+        for way in range(4):
+            policy.on_fill(state, way)
+            policy.on_hit(state, way)
+        # All RRPV 0: victim search must still terminate via aging.
+        assert 0 <= policy.victim(state) < 4
+
+
+class TestDRRIPPolicy:
+    def test_fill_and_victim_work(self):
+        policy = DRRIPPolicy()
+        for set_index in range(64):
+            state = policy.new_set_state(4)
+            for way in range(4):
+                policy.on_fill(state, way, set_index)
+            assert 0 <= policy.victim(state, set_index) < 4
+
+    def test_factory(self):
+        assert isinstance(make_policy("lru"), LRUPolicy)
+        assert isinstance(make_policy("srrip"), SRRIPPolicy)
+        assert isinstance(make_policy("drrip"), DRRIPPolicy)
+        with pytest.raises(ValueError):
+            make_policy("nonsense")
+
+
+class TestSetAssociativeCache:
+    def make(self, capacity=8 * 1024, line=64, ways=4):
+        return SetAssociativeCache(capacity, line, ways)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.access(0x100).hit
+        assert cache.access(0x100).hit
+
+    def test_same_line_different_bytes_hit(self):
+        cache = self.make()
+        cache.access(0x100)
+        assert cache.access(0x13F).hit
+
+    def test_eviction_reports_victim_address(self):
+        cache = SetAssociativeCache(256, 64, 1)  # 4 sets, direct mapped
+        cache.access(0)
+        outcome = cache.access(256)  # same set as 0
+        assert outcome.evicted_addr == 0
+
+    def test_dirty_eviction_flagged(self):
+        cache = SetAssociativeCache(256, 64, 1)
+        cache.access(0, is_write=True)
+        outcome = cache.access(256)
+        assert outcome.evicted_dirty
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_not_flagged(self):
+        cache = SetAssociativeCache(256, 64, 1)
+        cache.access(0)
+        assert not cache.access(256).evicted_dirty
+
+    def test_probe_has_no_side_effects(self):
+        cache = self.make()
+        assert not cache.probe(0x100)
+        cache.access(0x100)
+        assert cache.probe(0x100)
+        assert cache.hits + cache.misses == 1
+
+    def test_invalidate(self):
+        cache = self.make()
+        cache.access(0x100)
+        assert cache.invalidate(0x100)
+        assert not cache.access(0x100).hit
+
+    def test_hit_rate(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_respected(self):
+        cache = SetAssociativeCache(1024, 64, 4)
+        for i in range(100):
+            cache.access(i * 64)
+        assert cache.resident_lines() == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(100, 64, 4)   # capacity not multiple
+        with pytest.raises(ValueError):
+            SetAssociativeCache(192, 64, 4)   # lines not multiple of ways
+
+
+class TestHierarchy:
+    def test_first_access_reaches_memory(self):
+        hierarchy = CacheHierarchy()
+        requests = hierarchy.access(0x1000)
+        assert len(requests) == 1
+        assert not requests[0].is_write
+
+    def test_l1_hit_stays_on_chip(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0x1000)
+        assert hierarchy.access(0x1000) == []
+
+    def test_miss_stream_preserves_instruction_count(self):
+        hierarchy = CacheHierarchy()
+        accesses = [(i * 64, False, 100) for i in range(50)]
+        stream = list(hierarchy.llc_miss_stream(accesses))
+        assert sum(r.icount for r in stream) == 50 * 100
+
+    def test_mpki_computation(self):
+        hierarchy = CacheHierarchy()
+        for i in range(1000):
+            hierarchy.access(i * 64)
+        assert hierarchy.mpki(1_000_000) == pytest.approx(
+            hierarchy.llc.misses / 1000.0)
+
+    def test_table1_configuration(self):
+        config = HierarchyConfig()
+        hierarchy = CacheHierarchy(config)
+        assert hierarchy.l1.capacity_bytes == 64 * 1024
+        assert hierarchy.l2.ways == 8
+        assert hierarchy.llc.ways == 16
+        assert hierarchy.llc.capacity_bytes == 8 << 20

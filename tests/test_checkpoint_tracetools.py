@@ -1,0 +1,192 @@
+"""Tests for controller checkpointing and the trace-analysis tools."""
+
+import pytest
+
+from repro.analysis import (
+    locality_fingerprint,
+    reuse_distance_profile,
+    stride_profile,
+    windowed_statistics,
+)
+from repro.core import (
+    BumblebeeConfig,
+    BumblebeeController,
+    WayMode,
+    load_checkpoint,
+    load_state,
+    save_checkpoint,
+    state_dict,
+)
+from repro.mem import ddr4_3200_config, hbm2_config
+from repro.sim import MemoryRequest, SimulationDriver
+from repro.traces import SyntheticSpec, SyntheticTraceGenerator, \
+    workload_trace
+
+MIB = 1 << 20
+HBM = hbm2_config(8 * MIB)
+DRAM = ddr4_3200_config(80 * MIB)
+
+
+def warmed_controller(requests=8000):
+    controller = BumblebeeController(HBM, DRAM)
+    trace = workload_trace("mcf", requests)
+    SimulationDriver().run(controller, trace, workload="mcf")
+    return controller
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_placement(self):
+        source = warmed_controller()
+        clone = BumblebeeController(HBM, DRAM)
+        load_state(clone, state_dict(source))
+        g = source.geometry
+        for set_index in range(g.sets):
+            for orig in range(g.slots_per_set):
+                assert clone.prt[set_index].slot_of(orig) == \
+                    source.prt[set_index].slot_of(orig)
+            for way in range(g.hbm_ways):
+                assert clone.ble[set_index][way].mode is \
+                    source.ble[set_index][way].mode
+                assert clone.ble[set_index][way].valid == \
+                    source.ble[set_index][way].valid
+        clone.check_invariants()
+
+    def test_roundtrip_preserves_hot_queues(self):
+        source = warmed_controller()
+        clone = BumblebeeController(HBM, DRAM)
+        load_state(clone, state_dict(source))
+        for set_index in range(source.geometry.sets):
+            assert clone.hot[set_index].hbm_queue.pages() == \
+                source.hot[set_index].hbm_queue.pages()
+            assert clone.hot[set_index].threshold() == \
+                source.hot[set_index].threshold()
+
+    def test_file_roundtrip(self, tmp_path):
+        source = warmed_controller()
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(source, path)
+        clone = BumblebeeController(HBM, DRAM)
+        load_checkpoint(clone, path)
+        clone.check_invariants()
+
+    def test_restored_controller_behaves_like_source(self):
+        source = warmed_controller()
+        clone = BumblebeeController(HBM, DRAM)
+        load_state(clone, state_dict(source))
+        probe = workload_trace("mcf", 2000, seed=77)
+        a = SimulationDriver().run(source, probe, workload="mcf")
+        b = SimulationDriver().run(clone, probe, workload="mcf")
+        assert b.hbm_hit_rate == pytest.approx(a.hbm_hit_rate, abs=0.05)
+
+    def test_mismatched_geometry_rejected(self):
+        source = warmed_controller()
+        other = BumblebeeController(hbm2_config(16 * MIB), DRAM)
+        with pytest.raises(ValueError):
+            load_state(other, state_dict(source))
+
+    def test_mismatched_config_rejected(self):
+        source = warmed_controller()
+        other = BumblebeeController(
+            HBM, DRAM, BumblebeeConfig(block_bytes=4096))
+        with pytest.raises(ValueError):
+            load_state(other, state_dict(source))
+
+    def test_bad_version_rejected(self):
+        source = warmed_controller()
+        state = state_dict(source)
+        state["version"] = 999
+        with pytest.raises(ValueError):
+            load_state(BumblebeeController(HBM, DRAM), state)
+
+    def test_state_is_json_serialisable(self):
+        import json
+        json.dumps(state_dict(warmed_controller(2000)))
+
+
+class TestReuseDistance:
+    def test_repeated_line_counts_as_short_reuse(self):
+        trace = [MemoryRequest(addr=0)] * 10
+        profile = reuse_distance_profile(trace)
+        assert profile.counts[0] == 9
+        assert profile.cold == 1
+
+    def test_streaming_is_all_cold(self):
+        trace = [MemoryRequest(addr=i * 64) for i in range(500)]
+        profile = reuse_distance_profile(trace)
+        assert profile.cold_fraction() == 1.0
+
+    def test_hit_rate_prediction_monotone_in_capacity(self):
+        trace = workload_trace("mcf", 6000)
+        profile = reuse_distance_profile(trace)
+        small = profile.hit_rate_at(16)
+        large = profile.hit_rate_at(1 << 20)
+        assert small <= large
+
+    def test_distance_reflects_intervening_lines(self):
+        # a, b, c, a: a's reuse distance is 2 (b and c in between).
+        trace = [MemoryRequest(addr=x * 64) for x in (0, 1, 2, 0)]
+        profile = reuse_distance_profile(trace, bounds=(2, 4, 8))
+        assert profile.counts[1] == 1  # 2 <= distance < 4
+
+
+class TestStrideProfile:
+    def test_sequential_stream_detected(self):
+        trace = [MemoryRequest(addr=i * 64) for i in range(200)]
+        profile = stride_profile(trace)
+        assert profile.sequential > 0.95
+
+    def test_interleaved_streams_detected(self):
+        # Two alternating streams: consecutive deltas are huge but the
+        # lookback window sees both continuations.
+        trace = []
+        for i in range(100):
+            trace.append(MemoryRequest(addr=i * 64))
+            trace.append(MemoryRequest(addr=(1 << 24) + i * 64))
+        profile = stride_profile(trace)
+        assert profile.sequential > 0.9
+
+    def test_random_scatter_is_far(self):
+        import random
+        rng = random.Random(1)
+        trace = [MemoryRequest(addr=rng.randrange(1 << 30) // 64 * 64)
+                 for _ in range(300)]
+        profile = stride_profile(trace)
+        assert profile.far > 0.9
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            stride_profile([MemoryRequest(addr=0)])
+
+
+class TestWindowedStatistics:
+    def test_window_count(self):
+        trace = workload_trace("mcf", 5000)
+        series = windowed_statistics(trace, window=1000)
+        assert len(series.mpki) == 5
+
+    def test_mpki_tracks_spec(self):
+        trace = workload_trace("mcf", 4000)
+        series = windowed_statistics(trace, window=2000)
+        for value in series.mpki:
+            assert value == pytest.approx(16.1, rel=0.1)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            windowed_statistics([], window=0)
+
+
+class TestFingerprint:
+    def test_orders_fig1_trio(self):
+        from repro.traces import SystemScale, synthetic_spec
+        scale = SystemScale(1.0 / 256.0)
+        prints = {}
+        for name in ("mcf", "wrf", "xz"):
+            generator = SyntheticTraceGenerator(
+                synthetic_spec(name, scale), seed=1)
+            prints[name] = locality_fingerprint(generator.generate(20000))
+        assert prints["xz"]["spatial_score"] > \
+            prints["wrf"]["spatial_score"]
+        assert prints["mcf"]["temporal_score"] > \
+            prints["xz"]["temporal_score"]
+        assert prints["wrf"]["temporal_score"] > \
+            prints["xz"]["temporal_score"]

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+WINDOW = ("--requests", "3000", "--warmup", "1000")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--design", "MagicCache"])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        code, out = run_cli(capsys, "run", "--design", "Bumblebee",
+                            "--workload", "leela", *WINDOW)
+        assert code == 0
+        assert "normalised IPC" in out
+        assert "HBM hit rate" in out
+
+    def test_run_baseline_design(self, capsys):
+        code, out = run_cli(capsys, "run", "--design", "AlloyCache",
+                            "--workload", "leela", *WINDOW)
+        assert code == 0
+
+    def test_compare(self, capsys):
+        code, out = run_cli(capsys, "compare", "--designs", "Bumblebee",
+                            "--workloads", "leela", "mcf", *WINDOW)
+        assert code == 0
+        assert "leela" in out and "mcf" in out
+
+    def test_metadata(self, capsys):
+        code, out = run_cli(capsys, "metadata", *WINDOW)
+        assert code == 0
+        assert "334KB" in out
+
+    def test_characterise(self, capsys):
+        code, out = run_cli(capsys, "characterise", "--workload", "leela",
+                            "--requests", "2000", "--warmup", "500")
+        assert code == 0
+        assert "[leela]" in out
+
+    def test_figure_unknown_id(self, capsys):
+        code = main(["figure", "--id", "99", *WINDOW])
+        assert code == 2
+
+    def test_figure_7_small(self, capsys):
+        # Tiny window: exercises the full variant sweep path.
+        code, out = run_cli(capsys, "figure", "--id", "7",
+                            "--requests", "600", "--warmup", "200")
+        assert code == 0
+        assert "Bumblebee" in out
+
+    def test_mix(self, capsys):
+        code, out = run_cli(capsys, "mix", "--preset", "mix-fig1",
+                            "--design", "Bumblebee", *WINDOW)
+        assert code == 0
+        assert "mix-fig1" in out

@@ -1,0 +1,157 @@
+"""Tests for the PLE remapping table, including property-based invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BumblebeeConfig,
+    FREE_SLOT,
+    PageRemappingTable,
+    RemappingSet,
+    UNALLOCATED,
+    derive_geometry,
+)
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@pytest.fixture
+def geometry():
+    return derive_geometry(BumblebeeConfig(), hbm_bytes=32 * MIB,
+                           dram_bytes=320 * MIB)
+
+
+class TestGeometry:
+    def test_paper_scale_geometry(self):
+        """1GB HBM / 10GB DRAM / 64KB pages / 8 ways => 2048 sets, m=80."""
+        geometry = derive_geometry(BumblebeeConfig(),
+                                   hbm_bytes=1 << 30, dram_bytes=10 << 30)
+        assert geometry.sets == 2048
+        assert geometry.dram_slots == 80
+        assert geometry.hbm_ways == 8
+        assert geometry.ple_bits == 7  # ceil(log2(88))
+
+    def test_os_space_covers_both_memories(self, geometry):
+        assert geometry.os_bytes == 320 * MIB + 32 * MIB
+
+    def test_locate_roundtrip(self, geometry):
+        for addr in (0, 64 * KIB, 123456789 % geometry.os_bytes):
+            set_index, orig = geometry.locate(addr)
+            assert 0 <= set_index < geometry.sets
+            assert 0 <= orig < geometry.slots_per_set
+
+    def test_consecutive_pages_different_sets(self, geometry):
+        a = geometry.locate(0)
+        b = geometry.locate(64 * KIB)
+        assert a[0] != b[0] or geometry.sets == 1
+
+    def test_device_addresses_unique(self, geometry):
+        """No two (set, slot) pairs share a physical page address."""
+        seen = set()
+        for set_index in (0, 1, geometry.sets - 1):
+            for slot in range(geometry.slots_per_set):
+                if geometry.is_hbm_slot(slot):
+                    addr = geometry.hbm_page_addr(set_index, slot)
+                else:
+                    addr = geometry.dram_page_addr(set_index, slot)
+                key = (geometry.is_hbm_slot(slot), addr)
+                assert key not in seen
+                seen.add(key)
+
+    def test_wrong_slot_kind_raises(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.dram_page_addr(0, geometry.dram_slots)
+        with pytest.raises(ValueError):
+            geometry.hbm_page_addr(0, 0)
+
+    def test_uneven_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            derive_geometry(BumblebeeConfig(), hbm_bytes=32 * MIB,
+                            dram_bytes=320 * MIB + 64 * KIB)
+
+
+class TestRemappingSet:
+    def test_allocate_and_query(self):
+        rset = RemappingSet(slots=10)
+        rset.allocate(3, 7)
+        assert rset.slot_of(3) == 7
+        assert rset.occupant(7) == 3
+        assert rset.is_allocated(3)
+        assert rset.is_occupied(7)
+
+    def test_double_allocate_rejected(self):
+        rset = RemappingSet(slots=10)
+        rset.allocate(3, 7)
+        with pytest.raises(ValueError):
+            rset.allocate(3, 8)
+        with pytest.raises(ValueError):
+            rset.allocate(4, 7)
+
+    def test_move_frees_old_slot(self):
+        rset = RemappingSet(slots=10)
+        rset.allocate(2, 5)
+        old = rset.move(2, 8)
+        assert old == 5
+        assert rset.occupant(5) == FREE_SLOT
+        assert rset.slot_of(2) == 8
+
+    def test_move_unallocated_rejected(self):
+        rset = RemappingSet(slots=10)
+        with pytest.raises(ValueError):
+            rset.move(1, 5)
+
+    def test_swap(self):
+        rset = RemappingSet(slots=10)
+        rset.allocate(1, 2)
+        rset.allocate(3, 4)
+        rset.swap(1, 3)
+        assert rset.slot_of(1) == 4
+        assert rset.slot_of(3) == 2
+        rset.check_consistent()
+
+    def test_free_slot_queries(self):
+        rset = RemappingSet(slots=4)
+        rset.allocate(0, 0)
+        rset.allocate(1, 2)
+        assert rset.free_slots(0, 4) == [1, 3]
+        assert rset.first_free_slot(0, 4) == 1
+        assert rset.first_free_slot(0, 1) is None
+
+    def test_table_indexing(self, geometry):
+        table = PageRemappingTable(geometry)
+        assert len(table) == geometry.sets
+        table[0].allocate(1, 1)
+        assert table[1].slot_of(1) == UNALLOCATED
+
+
+class TestRemappingSetProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["alloc", "move", "swap"]),
+                  st.integers(0, 15), st.integers(0, 15)),
+        max_size=60))
+    def test_inverse_maps_stay_consistent(self, operations):
+        """slot_of and occupant remain mutual inverses under any legal
+        sequence of allocate / move / swap operations."""
+        rset = RemappingSet(slots=16)
+        for op, a, b in operations:
+            if op == "alloc":
+                if not rset.is_allocated(a) and not rset.is_occupied(b):
+                    rset.allocate(a, b)
+            elif op == "move":
+                if rset.is_allocated(a) and not rset.is_occupied(b):
+                    rset.move(a, b)
+            else:
+                if rset.is_allocated(a) and rset.is_allocated(b) and a != b:
+                    rset.swap(a, b)
+            rset.check_consistent()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 15), max_size=16))
+    def test_allocation_count_matches(self, pages):
+        rset = RemappingSet(slots=16)
+        for slot, page in enumerate(sorted(pages)):
+            rset.allocate(page, slot)
+        assert rset.allocated_count() == len(pages)

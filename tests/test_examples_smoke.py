@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken
+deliverable.  Each runs in a subprocess with its smallest workload knobs
+where the script accepts arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_ARGS = {
+    "quickstart.py": ["leela", "5000"],
+    "paper_figures.py": None,            # too heavy for a smoke test
+    "locality_explorer.py": [],
+    "capacity_pressure.py": [],
+    "phase_adaptivity.py": [],
+    "multiprogram_mix.py": ["mix-fig1"],
+    "characterise_workloads.py": [],
+    "warm_checkpoint.py": [],
+}
+
+
+def run_example(name: str, args: list[str],
+                timeout: int = 420) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+def test_all_examples_are_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_ARGS), (
+        "new example scripts must be added to FAST_ARGS")
+
+
+@pytest.mark.parametrize(
+    "name", [n for n, args in FAST_ARGS.items() if args is not None])
+def test_example_runs(name):
+    result = run_example(name, FAST_ARGS[name])
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_speedup():
+    result = run_example("quickstart.py", ["mcf", "20000"])
+    assert result.returncode == 0
+    assert "Bumblebee IPC" in result.stdout
+    assert "metadata budget" in result.stdout
+
+
+def test_paper_figures_importable():
+    """The heavy script at least parses and imports."""
+    result = subprocess.run(
+        [sys.executable, "-c",
+         "import runpy, sys; sys.argv=['x']; "
+         "compile(open('examples/paper_figures.py').read(), 'pf', 'exec')"],
+        capture_output=True, text=True,
+        cwd=EXAMPLES.parent, timeout=60)
+    assert result.returncode == 0, result.stderr

@@ -1,0 +1,206 @@
+"""Corner-path tests for the HMMC: swaps, flush rotation, failure modes."""
+
+import pytest
+
+from repro.core import (
+    AllocationPolicy,
+    BumblebeeConfig,
+    BumblebeeController,
+    WayMode,
+)
+from repro.mem import ddr4_3200_config, hbm2_config
+from repro.sim import MemoryRequest
+
+MIB = 1 << 20
+
+
+def make(config=None, hbm_mb=4, dram_mb=40):
+    return BumblebeeController(hbm2_config(hbm_mb * MIB),
+                               ddr4_3200_config(dram_mb * MIB),
+                               config or BumblebeeConfig())
+
+
+def touch(controller, addr, times=1, start=0.0, is_write=False):
+    now = start
+    result = None
+    for _ in range(times):
+        result = controller.access(MemoryRequest(addr=addr,
+                                                 is_write=is_write), now)
+        now += 50.0
+    return result, now
+
+
+class TestFullSetSwap:
+    def fill_set_completely(self, controller):
+        """Allocate every slot of set 0 (m DRAM + n HBM pages)."""
+        g = controller.geometry
+        page = controller.config.page_bytes
+        now = 0.0
+        for orig in range(g.slots_per_set):
+            controller.access(
+                MemoryRequest(addr=(orig * g.sets) * page), now)
+            now += 50.0
+        return now
+
+    def test_swap_triggers_when_set_full(self):
+        config = BumblebeeConfig(allocation=AllocationPolicy.HBM,
+                                 hmf_enabled=True)
+        controller = make(config)
+        g = controller.geometry
+        page = controller.config.page_bytes
+        now = self.fill_set_completely(controller)
+        # Hammer one DRAM-resident page until it is hotter than the
+        # coldest HBM page; §III-E HMF rule (4) must swap it in.
+        victim_orig = None
+        rset = controller.prt[0]
+        for orig in range(g.slots_per_set):
+            if not g.is_hbm_slot(rset.slot_of(orig)):
+                victim_orig = orig
+                break
+        assert victim_orig is not None
+        addr = (victim_orig * g.sets) * page
+        for i in range(1200):
+            controller.access(
+                MemoryRequest(addr=addr + (i % 1024) * 64), now)
+            now += 20.0
+        assert controller.stats.get("swaps") >= 1
+        assert g.is_hbm_slot(controller.prt[0].slot_of(victim_orig))
+        controller.check_invariants()
+
+    def test_swap_preserves_capacity(self):
+        """After a swap, the set still holds every allocated page."""
+        config = BumblebeeConfig(allocation=AllocationPolicy.HBM)
+        controller = make(config)
+        g = controller.geometry
+        now = self.fill_set_completely(controller)
+        rset = controller.prt[0]
+        assert rset.allocated_count() == g.slots_per_set
+        page = controller.config.page_bytes
+        for i in range(1500):
+            controller.access(
+                MemoryRequest(addr=(i % g.slots_per_set) * g.sets * page),
+                now)
+            now += 20.0
+        assert rset.allocated_count() == g.slots_per_set
+        controller.check_invariants()
+
+
+class TestGlobalFlushRotation:
+    def test_cursor_rotates_through_sets(self):
+        config = BumblebeeConfig(hmf_batch_sets=2)
+        controller = make(config)
+        high = controller.dram.capacity_bytes + 4096
+        controller._hmf_flush_interval = 1  # flush a batch per trigger
+        now = 0.0
+        for _ in range(controller.geometry.sets):
+            controller.access(MemoryRequest(addr=high), now)
+            now += 50.0
+        assert all(controller._chbm_disabled)
+
+    def test_disabled_sets_skip_caching(self):
+        controller = make(BumblebeeConfig(
+            allocation=AllocationPolicy.DRAM))
+        controller._chbm_disabled = [True] * controller.geometry.sets
+        touch(controller, 0)
+        assert controller.stats.get("chbm_insertions") == 0
+
+    def test_reenable_restores_caching(self):
+        controller = make(BumblebeeConfig(
+            allocation=AllocationPolicy.DRAM, hmf_cooldown_requests=4))
+        high = controller.dram.capacity_bytes + 4096
+        now = 0.0
+        controller.access(MemoryRequest(addr=high), now)
+        assert any(controller._chbm_disabled)
+        for i in range(6):
+            now += 50.0
+            controller.access(MemoryRequest(addr=64 * i), now)
+        assert not any(controller._chbm_disabled)
+
+
+class TestBufferReheat:
+    def test_reheated_buffer_switches_back_without_movement(self):
+        """A buffered (cHBM, all-valid) page that re-heats flips back to
+        mHBM via the most-blocks rule with zero mode-switch bytes."""
+        controller = make(BumblebeeConfig(allocation=AllocationPolicy.HBM))
+        g = controller.geometry
+        page = controller.config.page_bytes
+        now = 0.0
+        for orig in range(g.hbm_ways):
+            _, now = touch(controller, (orig * g.sets) * page,
+                           start=now)
+        # Force buffering by pressuring with a hot DRAM page.
+        hot = (g.hbm_ways + 2) * g.sets * page
+        for i in range(60):
+            controller.access(MemoryRequest(addr=hot + (i % 32) * 64), now)
+            now += 20.0
+        full = (1 << controller.config.blocks_per_page) - 1
+        buffered = [w for w in range(g.hbm_ways)
+                    if controller.ble[0][w].mode is WayMode.CHBM
+                    and controller.ble[0][w].valid == full]
+        if not buffered:
+            pytest.skip("pressure did not buffer in this configuration")
+        way = buffered[0]
+        owner = controller.ble[0][way].owner
+        before = controller.stats.get("mode_switch_bytes")
+        # Re-access the buffered page: block hits, then the most-blocks
+        # rule flips it back to mHBM fetching nothing (all blocks valid).
+        addr = (owner * g.sets) * page
+        controller.access(MemoryRequest(addr=addr), now)
+        assert controller.ble[0][way].mode is WayMode.MHBM
+        assert controller.stats.get("mode_switch_bytes") == before
+        controller.check_invariants()
+
+
+class TestGeometryEdgeCases:
+    def test_single_way_config(self):
+        controller = make(BumblebeeConfig(hbm_ways=1), hbm_mb=4,
+                          dram_mb=40)
+        result, _ = touch(controller, 0, times=5)
+        controller.check_invariants()
+
+    def test_small_page_config(self):
+        config = BumblebeeConfig(page_bytes=16 * 1024, block_bytes=1024)
+        controller = make(config)
+        touch(controller, 0, times=3)
+        touch(controller, 5 * 16 * 1024 + 2048, times=3)
+        controller.check_invariants()
+
+    def test_block_equals_page(self):
+        config = BumblebeeConfig(page_bytes=64 * 1024,
+                                 block_bytes=64 * 1024)
+        controller = make(config)
+        touch(controller, 0, times=2)
+        controller.check_invariants()
+
+    def test_uneven_capacity_rejected(self):
+        from repro.core import derive_geometry
+        # 70 DRAM pages cannot tile across the 8 sets of a 4MiB stack.
+        with pytest.raises(ValueError):
+            derive_geometry(BumblebeeConfig(), 4 * MIB, 70 * 64 * 1024)
+
+
+class TestWriteHandling:
+    def test_write_to_chbm_block_sets_dirty(self):
+        controller = make(BumblebeeConfig(
+            allocation=AllocationPolicy.DRAM))
+        touch(controller, 0)                       # fill block 0
+        touch(controller, 64, is_write=True, start=100.0)  # write hit
+        entry = controller.ble[0][0]
+        assert entry.mode is WayMode.CHBM
+        assert entry.dirty_count() == 1
+
+    def test_dirty_blocks_written_back_on_eviction(self):
+        controller = make(BumblebeeConfig(
+            allocation=AllocationPolicy.DRAM))
+        touch(controller, 0, is_write=True)
+        before = controller.stats.get("writeback_bytes")
+        controller._evict_chbm_way(0, 0, 1000.0)
+        assert controller.stats.get("writeback_bytes") - before == 2048
+
+    def test_clean_eviction_writes_nothing(self):
+        controller = make(BumblebeeConfig(
+            allocation=AllocationPolicy.DRAM))
+        touch(controller, 0, is_write=False)
+        before = controller.stats.get("writeback_bytes")
+        controller._evict_chbm_way(0, 0, 1000.0)
+        assert controller.stats.get("writeback_bytes") == before

@@ -1,0 +1,126 @@
+"""Tests for the bank FSM and the two-priority channel model."""
+
+import pytest
+
+from repro.mem import Bank, RowBufferOutcome, hbm2_config
+from repro.mem.channel import MOVEMENT_CHUNK_BYTES, Channel
+
+
+@pytest.fixture
+def timings():
+    return hbm2_config().timings
+
+
+@pytest.fixture
+def channel():
+    return Channel(hbm2_config(), index=0)
+
+
+class TestBank:
+    def test_first_access_is_closed(self, timings):
+        bank = Bank(timings)
+        access = bank.access(row=5, now_ns=0.0)
+        assert access.outcome is RowBufferOutcome.CLOSED
+        assert access.activated
+        assert access.data_ns == pytest.approx(timings.row_closed_ns)
+
+    def test_second_access_same_row_hits(self, timings):
+        bank = Bank(timings)
+        bank.access(5, 0.0)
+        access = bank.access(5, 100.0)
+        assert access.outcome is RowBufferOutcome.HIT
+        assert not access.activated
+        assert (access.data_ns - access.issue_ns
+                == pytest.approx(timings.row_hit_ns))
+
+    def test_different_row_conflicts(self, timings):
+        bank = Bank(timings)
+        bank.access(5, 0.0)
+        access = bank.access(6, 100.0)
+        assert access.outcome is RowBufferOutcome.CONFLICT
+        assert (access.data_ns - access.issue_ns
+                == pytest.approx(timings.row_conflict_ns))
+
+    def test_bank_self_serialises(self, timings):
+        bank = Bank(timings)
+        first = bank.access(5, 0.0)
+        second = bank.access(5, 0.0)  # issued while busy
+        assert second.issue_ns == pytest.approx(first.data_ns)
+
+    def test_precharge_forces_activation(self, timings):
+        bank = Bank(timings)
+        bank.access(5, 0.0)
+        bank.precharge_all()
+        access = bank.access(5, 100.0)
+        assert access.outcome is RowBufferOutcome.CLOSED
+
+    def test_statistics_count(self, timings):
+        bank = Bank(timings)
+        bank.access(1, 0.0)
+        bank.access(1, 50.0)
+        bank.access(2, 100.0)
+        assert (bank.closed, bank.hits, bank.conflicts) == (1, 1, 1)
+
+    def test_reset_restores_initial_state(self, timings):
+        bank = Bank(timings)
+        bank.access(1, 0.0)
+        bank.reset()
+        assert bank.open_row is None
+        assert bank.busy_until_ns == 0.0
+        assert bank.hits == bank.closed == bank.conflicts == 0
+
+
+class TestChannelDemand:
+    def test_demand_latency_includes_burst(self, channel):
+        config = hbm2_config()
+        access = channel.access(bank=0, row=0, nbytes=64, is_write=False,
+                                now_ns=0.0)
+        expected = config.timings.row_closed_ns + config.burst_ns(64)
+        assert access.latency_ns == pytest.approx(expected)
+
+    def test_demand_serialises_on_bus(self, channel):
+        a = channel.access(0, 0, 64, False, 0.0)
+        b = channel.access(1, 0, 64, False, 0.0)  # different bank, same bus
+        assert b.done_ns > a.done_ns
+
+    def test_traffic_counted(self, channel):
+        channel.access(0, 0, 64, False, 0.0)
+        channel.access(0, 0, 64, True, 100.0)
+        assert channel.read_bytes == 64
+        assert channel.write_bytes == 64
+
+    def test_energy_counters(self, channel):
+        channel.access(0, 0, 64, False, 0.0)   # closed -> activation
+        channel.access(0, 0, 64, False, 100.0)  # hit -> no activation
+        assert channel.counters.activations == 1
+        assert channel.counters.read_bursts == 2
+
+
+class TestChannelMovement:
+    def test_backlog_accumulates_and_drains(self, channel):
+        channel.bulk_transfer(64 * 1024, False, now_ns=0.0)
+        backlog = channel.movement_backlog_ns(0.0)
+        assert backlog > 0
+        assert channel.movement_backlog_ns(backlog + 1.0) == 0.0
+
+    def test_demand_interference_bounded_by_chunk(self, channel):
+        config = hbm2_config()
+        channel.bulk_transfer(1 << 20, False, now_ns=0.0)  # huge backlog
+        access = channel.access(0, 0, 64, False, 0.0)
+        unloaded = config.timings.row_closed_ns + config.burst_ns(64)
+        max_interference = config.burst_ns(MOVEMENT_CHUNK_BYTES)
+        assert access.latency_ns <= unloaded + max_interference + 1e-9
+
+    def test_movement_counts_traffic(self, channel):
+        channel.bulk_transfer(4096, True, now_ns=0.0)
+        assert channel.write_bytes == 4096
+
+    def test_movement_completion_reflects_queue(self, channel):
+        first = channel.bulk_transfer(64 * 1024, False, 0.0)
+        second = channel.bulk_transfer(64 * 1024, False, 0.0)
+        assert second > first
+
+    def test_reset_clears_backlog(self, channel):
+        channel.bulk_transfer(1 << 20, False, 0.0)
+        channel.reset()
+        assert channel.movement_backlog_ns(0.0) == 0.0

@@ -1,0 +1,89 @@
+"""Tests for device timing presets and parameter plumbing."""
+
+import pytest
+
+from repro.mem import (
+    GIB,
+    DeviceConfig,
+    DeviceCurrents,
+    DeviceGeometry,
+    DeviceTimings,
+    ddr4_3200_config,
+    hbm2_config,
+)
+
+
+class TestTimings:
+    def test_ns_conversion(self):
+        t = DeviceTimings(tck_ns=0.5, tcas=10, trcd=10, trp=10, tras=24,
+                          trc=34, trfc=100, trefi=3900)
+        assert t.ns(10) == pytest.approx(5.0)
+
+    def test_row_hit_is_cas_only(self):
+        t = hbm2_config().timings
+        assert t.row_hit_ns == pytest.approx(t.tcas * t.tck_ns)
+
+    def test_row_closed_adds_rcd(self):
+        t = hbm2_config().timings
+        assert t.row_closed_ns == pytest.approx((t.trcd + t.tcas) * t.tck_ns)
+
+    def test_row_conflict_is_worst(self):
+        t = ddr4_3200_config().timings
+        assert t.row_conflict_ns > t.row_closed_ns > t.row_hit_ns
+
+
+class TestPresets:
+    def test_hbm2_matches_table1(self):
+        config = hbm2_config()
+        assert config.geometry.channels == 8
+        assert config.geometry.bus_bits == 128
+        assert config.geometry.interleave_bytes == 512
+        assert config.geometry.banks_per_channel == 8
+        assert config.timings.tcas == 7
+        assert config.timings.trcd == 7
+        assert config.timings.trp == 7
+        assert config.currents.idd4r == 390
+        assert config.currents.idd4w == 500
+        assert config.is_stacked
+
+    def test_ddr4_matches_table1(self):
+        config = ddr4_3200_config()
+        assert config.geometry.channels == 2
+        assert config.geometry.bus_bits == 64
+        assert config.timings.tcas == 22
+        assert config.currents.idd4r == 143
+        assert not config.is_stacked
+
+    def test_default_capacities(self):
+        assert hbm2_config().geometry.capacity_bytes == 1 * GIB
+        assert ddr4_3200_config().geometry.capacity_bytes == 10 * GIB
+
+    def test_custom_capacity(self):
+        assert hbm2_config(64 << 20).geometry.capacity_bytes == 64 << 20
+
+    def test_hbm_bandwidth_exceeds_ddr4(self):
+        # 256 GB/s vs 51.2 GB/s at Table I configurations.
+        assert (hbm2_config().peak_bandwidth_gbs
+                > 4 * ddr4_3200_config().peak_bandwidth_gbs)
+
+    def test_hbm_peak_bandwidth_value(self):
+        assert hbm2_config().peak_bandwidth_gbs == pytest.approx(256.0)
+
+    def test_hbm_unloaded_latency_below_ddr4(self):
+        assert (hbm2_config().timings.row_conflict_ns
+                < ddr4_3200_config().timings.row_conflict_ns)
+
+
+class TestBurst:
+    def test_burst_ns_scales_with_bytes(self):
+        config = hbm2_config()
+        assert config.burst_ns(128) == pytest.approx(2 * config.burst_ns(64))
+
+    def test_burst_minimum_one_beat(self):
+        config = hbm2_config()
+        assert config.burst_ns(1) == pytest.approx(0.5 * config.timings.tck_ns)
+
+    def test_ddr4_64b_burst(self):
+        config = ddr4_3200_config()
+        # 64B over an 8B bus: 8 beats = 4 clocks at DDR.
+        assert config.burst_ns(64) == pytest.approx(4 * 0.625)

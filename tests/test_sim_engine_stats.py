@@ -1,0 +1,163 @@
+"""Tests for the event engine, statistics machinery, and CPU model."""
+
+import pytest
+
+from repro.sim import CpuModel, EventEngine, Histogram, StatGroup, geomean
+
+
+class TestEventEngine:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(20.0, lambda t: order.append("b"))
+        engine.schedule(10.0, lambda t: order.append("a"))
+        engine.advance_to(30.0)
+        assert order == ["a", "b"]
+
+    def test_same_time_fires_in_insertion_order(self):
+        engine = EventEngine()
+        order = []
+        engine.schedule(10.0, lambda t: order.append(1))
+        engine.schedule(10.0, lambda t: order.append(2))
+        engine.advance_to(10.0)
+        assert order == [1, 2]
+
+    def test_advance_only_fires_due_events(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(10.0, lambda t: fired.append(t))
+        engine.schedule(50.0, lambda t: fired.append(t))
+        assert engine.advance_to(20.0) == 1
+        assert fired == [10.0]
+        assert engine.pending == 1
+
+    def test_cancel_prevents_firing(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(10.0, lambda t: fired.append(t))
+        handle.cancel()
+        engine.advance_to(100.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_schedule_in_past_raises(self):
+        engine = EventEngine()
+        engine.advance_to(100.0)
+        with pytest.raises(ValueError):
+            engine.schedule(50.0, lambda t: None)
+
+    def test_drain_fires_everything(self):
+        engine = EventEngine()
+        fired = []
+        for t in (5.0, 15.0, 25.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        assert engine.drain() == 3
+        assert fired == [5.0, 15.0, 25.0]
+
+    def test_events_can_schedule_events(self):
+        engine = EventEngine()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if len(fired) < 3:
+                engine.schedule(t + 10.0, chain)
+
+        engine.schedule(0.0, chain)
+        engine.advance_to(100.0)
+        assert fired == [0.0, 10.0, 20.0]
+
+
+class TestStatGroup:
+    def test_autovivifies(self):
+        stats = StatGroup("test")
+        stats.bump("x")
+        stats.bump("x", 4)
+        assert stats.get("x") == 5
+        assert stats.get("missing") == 0
+
+    def test_merge(self):
+        a = StatGroup("a")
+        b = StatGroup("b")
+        a.bump("k", 2)
+        b.bump("k", 3)
+        a.merge(b)
+        assert a.get("k") == 5
+
+    def test_as_dict_snapshot(self):
+        stats = StatGroup("s")
+        stats.bump("k")
+        snapshot = stats.as_dict()
+        stats.bump("k")
+        assert snapshot == {"k": 1}
+
+
+class TestHistogram:
+    def test_bucketing_matches_fig1_bounds(self):
+        hist = Histogram(bounds=[5.0, 10.0, 15.0, 20.0])
+        for sample in (1, 7, 12, 17, 30):
+            hist.add(sample)
+        assert hist.counts == [1, 1, 1, 1, 1]
+
+    def test_fractions_sum_to_one(self):
+        hist = Histogram(bounds=[5.0, 10.0])
+        for sample in (1, 2, 7, 20):
+            hist.add(sample)
+        assert sum(hist.fractions()) == pytest.approx(1.0)
+
+    def test_weighting(self):
+        hist = Histogram(bounds=[10.0])
+        hist.add(5, weight=3)
+        assert hist.counts[0] == 3
+        assert hist.total == 3
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[10.0, 5.0])
+
+    def test_labels_cover_all_buckets(self):
+        hist = Histogram(bounds=[5.0, 10.0])
+        assert len(hist.labels()) == 3
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestCpuModel:
+    def test_compute_time_scales_with_cores(self):
+        one = CpuModel(cores=1)
+        four = CpuModel(cores=4)
+        assert one.compute_ns(1000) == pytest.approx(
+            4 * four.compute_ns(1000))
+
+    def test_stall_divided_by_mlp(self):
+        cpu = CpuModel(mlp=4.0)
+        assert cpu.stall_ns(100.0) == pytest.approx(25.0)
+
+    def test_ipc_roundtrip(self):
+        cpu = CpuModel(freq_ghz=2.0)
+        # 1000 instructions in 500ns at 2GHz = 1000 cycles -> IPC 1.0
+        assert cpu.ipc(1000, 500.0) == pytest.approx(1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CpuModel(freq_ghz=0)
+        with pytest.raises(ValueError):
+            CpuModel(cores=0)
+        with pytest.raises(ValueError):
+            CpuModel(mlp=-1)
+
+    def test_cycle_conversions_inverse(self):
+        cpu = CpuModel()
+        assert cpu.ns_to_cycles(cpu.cycles_to_ns(123.0)) == pytest.approx(
+            123.0)

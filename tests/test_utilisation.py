@@ -1,0 +1,120 @@
+"""Tests for the Figure 1 line-utilisation analyzer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.utilisation import (
+    FIG1_BUCKET_BOUNDS,
+    FIG1_LINE_SIZES,
+    LineUtilisationAnalyzer,
+    characterise,
+)
+
+MIB = 1 << 20
+
+
+class TestAnalyzer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LineUtilisationAnalyzer(1 * MIB, 1000)  # not 64B multiple
+        with pytest.raises(ValueError):
+            LineUtilisationAnalyzer(1 * MIB + 7, 64)
+
+    def test_single_access_lands_in_lowest_bucket(self):
+        analyzer = LineUtilisationAnalyzer(64 * 1024, 64)
+        analyzer.record(0)
+        result = analyzer.finish()
+        assert result.fractions[0] == pytest.approx(1.0)
+
+    def test_hot_line_lands_in_top_bucket(self):
+        analyzer = LineUtilisationAnalyzer(64 * 1024, 64)
+        for _ in range(25):
+            analyzer.record(0)
+        result = analyzer.finish()
+        assert result.fractions[-1] == pytest.approx(1.0)
+
+    def test_average_over_line_chunks(self):
+        # 256B line = four 64B chunks; 8 accesses to one chunk -> N = 2.
+        analyzer = LineUtilisationAnalyzer(64 * 1024, 256)
+        for _ in range(8):
+            analyzer.record(0)
+        result = analyzer.finish()
+        assert result.mean_access_number == pytest.approx(2.0)
+        assert result.fractions[0] == pytest.approx(1.0)  # N=2 < 5
+
+    def test_lru_eviction_order(self):
+        # Two-line capacity: third distinct line evicts the oldest.
+        analyzer = LineUtilisationAnalyzer(128, 64)
+        analyzer.record(0)
+        analyzer.record(64)
+        analyzer.record(128)  # evicts line 0
+        result = analyzer.finish()
+        assert result.evicted_lines == 3
+
+    def test_reuse_refreshes_lru(self):
+        analyzer = LineUtilisationAnalyzer(128, 64)
+        analyzer.record(0)
+        analyzer.record(64)
+        analyzer.record(0)      # refresh line 0
+        analyzer.record(128)    # should evict line 64, not 0
+        analyzer.record(0)      # still resident: no new eviction
+        result = analyzer.finish()
+        # lines retired: 64 (evicted) + 0 and 128 at finish = 3 total
+        assert result.evicted_lines == 3
+
+    def test_characterise_covers_all_sizes(self):
+        addresses = list(range(0, 1 << 20, 64)) * 3
+        results = characterise(addresses, capacity_bytes=2 * MIB)
+        assert set(results) == set(FIG1_LINE_SIZES)
+        for result in results.values():
+            assert sum(result.fractions) == pytest.approx(1.0)
+
+    def test_streaming_pattern_low_n_everywhere(self):
+        """Pure streaming (xz-like): every line sees each chunk once."""
+        addresses = list(range(0, 4 * MIB, 64))
+        results = characterise(addresses, capacity_bytes=1 * MIB,
+                               line_sizes=[64, 4096])
+        for result in results.values():
+            assert result.fractions[0] > 0.95  # N < 5 dominates
+
+    def test_hot_loop_high_n_at_all_sizes(self):
+        """mcf-like: a compact hot region reused heavily scores high N
+        even at large line sizes."""
+        hot = [addr for _ in range(30) for addr in range(0, 64 * 1024, 64)]
+        results = characterise(hot, capacity_bytes=1 * MIB,
+                               line_sizes=[64, 65536])
+        for result in results.values():
+            assert result.fractions[-1] > 0.9  # N >= 20
+
+    def test_scattered_hot_lines_collapse_at_large_lines(self):
+        """wrf-like: isolated hot 64B lines score high N at 64B but the
+        per-chunk average collapses inside 64KB lines."""
+        stride = 64 * 1024
+        hot_lines = [i * stride for i in range(16)]
+        addresses = [addr for _ in range(30) for addr in hot_lines]
+        results = characterise(addresses, capacity_bytes=4 * MIB,
+                               line_sizes=[64, 65536])
+        assert results[64].fractions[-1] > 0.9
+        assert results[65536].fractions[0] > 0.9
+
+
+class TestAnalyzerProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    def test_fractions_always_sum_to_one(self, addresses):
+        analyzer = LineUtilisationAnalyzer(32 * 1024, 256)
+        for addr in addresses:
+            analyzer.record(addr)
+        result = analyzer.finish()
+        assert sum(result.fractions) == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200))
+    def test_retired_lines_cover_every_distinct_line(self, addresses):
+        analyzer = LineUtilisationAnalyzer(1 * MIB, 64)
+        for addr in addresses:
+            analyzer.record(addr)
+        result = analyzer.finish()
+        distinct = {a // 64 for a in addresses}
+        assert result.evicted_lines == len(distinct)
