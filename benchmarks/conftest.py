@@ -5,6 +5,13 @@ traces, baselines, and per-design runs are simulated once and reused
 across figures.  ``REPRO_BENCH_REQUESTS`` / ``REPRO_BENCH_WARMUP``
 environment variables scale the measured window for quicker smoke runs or
 longer, tighter-confidence sweeps.
+
+The harness is additionally backed by a persistent
+:class:`~repro.analysis.resultcache.ResultCache` shared across benchmark
+sessions: re-running the suite with unchanged inputs loads stored
+records instead of re-simulating.  ``REPRO_BENCH_CACHE`` controls it —
+unset uses ``benchmarks/.result_cache``, a path overrides the location,
+and ``0`` / ``off`` / ``none`` disables caching.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro import ExperimentConfig, ExperimentHarness
+from repro.analysis import ResultCache
 
 DEFAULT_REQUESTS = 50_000
 DEFAULT_WARMUP = 30_000
@@ -25,6 +33,15 @@ def _env_int(name: str, default: int) -> int:
     return int(value) if value else default
 
 
+def _bench_cache() -> ResultCache | None:
+    setting = os.environ.get("REPRO_BENCH_CACHE", "")
+    if setting.lower() in ("0", "off", "none", "no"):
+        return None
+    root = (Path(setting) if setting
+            else Path(__file__).resolve().parent / ".result_cache")
+    return ResultCache(root)
+
+
 @pytest.fixture(scope="session")
 def harness() -> ExperimentHarness:
     """The shared experiment harness (session-wide caches)."""
@@ -33,7 +50,7 @@ def harness() -> ExperimentHarness:
         requests=_env_int("REPRO_BENCH_REQUESTS", DEFAULT_REQUESTS),
         warmup=_env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP),
     )
-    return ExperimentHarness(config)
+    return ExperimentHarness(config, cache=_bench_cache())
 
 
 ARTIFACT_LOG = Path(__file__).resolve().parent.parent / \

@@ -1,0 +1,95 @@
+"""Simulator throughput benchmarks: driver req/s and campaign scaling.
+
+Two artefacts land in ``bench_artifacts.txt``:
+
+* single-threaded driver throughput (requests simulated per wall-clock
+  second) for a cacheless baseline, a cache design, and Bumblebee — the
+  hot-loop regression canary (the seed tree measured ~113k req/s for
+  No-HBM and ~68k req/s for Bumblebee on the reference container);
+* campaign wall time, serial vs ``jobs=2``, on a small design x
+  workload matrix, with the persisted records asserted bit-identical —
+  the speedup is hardware-dependent (a single-core runner shows none),
+  so the numbers are reported rather than gated.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.campaign import Campaign
+from repro.analysis.experiments import ExperimentHarness
+from repro.baselines import make_controller
+from repro.core.hmmc import BumblebeeController
+from repro.sim.driver import SimulationDriver
+
+from conftest import emit
+
+#: Generous sanity floor (req/s): catches an accidental 10x regression
+#: without flaking on slow or noisy CI hardware.
+MIN_THROUGHPUT = 5_000
+
+THROUGHPUT_DESIGNS = ("No-HBM", "Banshee", "Bumblebee")
+
+
+def _make(design: str, harness):
+    if design == "Bumblebee":
+        return BumblebeeController(harness.hbm_config, harness.dram_config)
+    return make_controller(design, harness.hbm_config, harness.dram_config,
+                           sram_bytes=harness.config.scale.sram_bytes)
+
+
+def test_driver_throughput(harness):
+    """Single-threaded requests/second through the full demand path."""
+    trace = harness.trace("mcf")
+    n = len(trace)
+    rows = []
+    for design in THROUGHPUT_DESIGNS:
+        best = 0.0
+        for _ in range(3):       # best-of-3 damps scheduler noise
+            controller = _make(design, harness)
+            driver = SimulationDriver(harness.config.cpu)
+            start = time.perf_counter()
+            driver.run(controller, trace, workload="mcf",
+                       warmup=harness.config.warmup)
+            elapsed = time.perf_counter() - start
+            best = max(best, n / elapsed)
+        rows.append((design, best))
+        assert best > MIN_THROUGHPUT, (
+            f"{design}: {best:,.0f} req/s is below the sanity floor")
+    body = "\n".join(f"{design:>12}: {reqs:12,.0f} req/s"
+                     for design, reqs in rows)
+    emit("driver throughput (single-threaded, mcf, best of 3)", body)
+
+
+def test_campaign_parallel_identical(harness, tmp_path: Path):
+    """Serial and --jobs campaigns persist bit-identical records."""
+    designs = ["No-HBM", "Banshee", "Bumblebee"]
+    workloads = ["leela", "mcf"]
+    # Fresh harnesses (no shared memo, no persistent cache) so both
+    # campaigns actually simulate their cells.
+    config = harness.config
+
+    serial_path = tmp_path / "serial.jsonl"
+    start = time.perf_counter()
+    Campaign(ExperimentHarness(config), serial_path).run(designs, workloads)
+    serial_s = time.perf_counter() - start
+
+    parallel_path = tmp_path / "parallel.jsonl"
+    start = time.perf_counter()
+    Campaign(ExperimentHarness(config), parallel_path).run(
+        designs, workloads, jobs=2)
+    parallel_s = time.perf_counter() - start
+
+    def read(path: Path) -> list[dict]:
+        return sorted(
+            (json.loads(line) for line in path.read_text().splitlines()),
+            key=lambda r: (r["design"], r["workload"]))
+
+    assert read(serial_path) == read(parallel_path)
+    emit("campaign wall time (3 designs x 2 workloads)",
+         f"{'serial':>12}: {serial_s:8.2f} s\n"
+         f"{'jobs=2':>12}: {parallel_s:8.2f} s\n"
+         f"{'ratio':>12}: {serial_s / parallel_s:8.2f}x "
+         "(hardware-dependent; ~1x on a single-core runner)")

@@ -19,6 +19,8 @@ from .report import (
     format_table2,
 )
 from .campaign import Campaign, run_campaign
+from .parallel import resolve_jobs, run_bumblebee_cells, run_design_cells
+from .resultcache import ResultCache, default_cache_dir
 from .devices import (
     DeviceReport,
     controller_device_reports,
@@ -87,4 +89,9 @@ __all__ = [
     "format_device_reports",
     "Campaign",
     "run_campaign",
+    "ResultCache",
+    "default_cache_dir",
+    "resolve_jobs",
+    "run_design_cells",
+    "run_bumblebee_cells",
 ]

@@ -1,12 +1,19 @@
 """Measurement campaigns: a resumable design x workload result matrix.
 
 A campaign runs every (design, workload) cell of a study, persists each
-result to a JSON file as soon as it lands, and skips already-present
-cells on re-run — so a long study survives interruption, and adding one
-design later costs only its own column.  The stored records are plain
-dicts (schema below), loadable without this package.
+result as soon as it lands, and skips already-present cells on re-run —
+so a long study survives interruption, and adding one design later costs
+only its own column.  The stored records are plain dicts (schema below),
+loadable without this package.
 
-Record schema (one per cell)::
+Records are stored as JSON Lines — one record appended per line — so
+persisting cell *n* costs O(1) instead of rewriting the whole file
+(the old format serialised every record on every flush, turning an
+N-cell campaign into O(N^2) bytes written).  Legacy files holding a
+single JSON array are still read, and are migrated to JSONL the first
+time a new record is appended.
+
+Record schema (one per line)::
 
     {
       "design": "Bumblebee", "workload": "mcf",
@@ -43,12 +50,36 @@ def _comparison_record(comparison: WorkloadComparison,
     return record
 
 
+def _load_records(text: str) -> list[dict]:
+    """Records from campaign file content, legacy JSON array or JSONL.
+
+    A truncated trailing JSONL line (interrupted write) is skipped; the
+    campaign recomputes that cell.
+    """
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("["):        # legacy whole-file JSON array
+        return json.loads(stripped)
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            break
+    return records
+
+
 class Campaign:
     """A persisted, resumable result matrix.
 
     Args:
         harness: The shared experiment harness.
-        path: JSON file holding the accumulated records.
+        path: JSONL file holding the accumulated records (legacy JSON
+            array files are read and migrated transparently).
     """
 
     def __init__(self, harness: ExperimentHarness,
@@ -56,8 +87,11 @@ class Campaign:
         self.harness = harness
         self.path = Path(path)
         self._records: dict[str, dict] = {}
+        self._needs_migration = False
         if self.path.exists():
-            for record in json.loads(self.path.read_text() or "[]"):
+            text = self.path.read_text()
+            self._needs_migration = text.lstrip().startswith("[")
+            for record in _load_records(text):
                 self._records[_cell_key(record["design"],
                                         record["workload"])] = record
 
@@ -68,24 +102,40 @@ class Campaign:
     def has(self, design: str, workload: str) -> bool:
         return _cell_key(design, workload) in self._records
 
-    def run(self, designs: Sequence[str],
-            workloads: Sequence[str]) -> int:
-        """Fill every missing cell; returns the number of new runs."""
-        new_runs = 0
-        for design in designs:
-            for workload in workloads:
-                if self.has(design, workload):
-                    continue
-                comparison = self.harness.run_design(design, workload)
-                self._records[_cell_key(design, workload)] = \
-                    _comparison_record(comparison, self.harness)
-                new_runs += 1
-                self._flush()
-        return new_runs
+    def run(self, designs: Sequence[str], workloads: Sequence[str],
+            jobs: int | None = 1) -> int:
+        """Fill every missing cell; returns the number of new runs.
 
-    def _flush(self) -> None:
-        self.path.write_text(json.dumps(list(self._records.values()),
-                                        indent=1))
+        ``jobs`` > 1 computes the missing cells on a process pool; the
+        persisted records are bit-identical to a serial run.  Each cell
+        is appended to the campaign file as soon as it is adopted.
+        """
+        from .parallel import run_design_cells
+        missing = [(design, workload)
+                   for design in designs for workload in workloads
+                   if not self.has(design, workload)]
+        if not missing:
+            return 0
+
+        def persist(design: str, workload: str,
+                    comparison: WorkloadComparison) -> None:
+            record = _comparison_record(comparison, self.harness)
+            self._records[_cell_key(design, workload)] = record
+            self._append(record)
+
+        run_design_cells(self.harness, missing, jobs=jobs,
+                         on_result=persist)
+        return len(missing)
+
+    def _append(self, record: dict) -> None:
+        """Append one record line (migrating a legacy file first)."""
+        if self._needs_migration:
+            self._needs_migration = False
+            existing = [r for r in self._records.values() if r is not record]
+            self.path.write_text(
+                "".join(json.dumps(r) + "\n" for r in existing))
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
 
     # ---- views ----------------------------------------------------------
 
@@ -122,8 +172,9 @@ class Campaign:
 
 def run_campaign(harness: ExperimentHarness, path: str | Path,
                  designs: Sequence[str],
-                 workloads: Sequence[str]) -> Campaign:
+                 workloads: Sequence[str],
+                 jobs: int | None = 1) -> Campaign:
     """Convenience wrapper: open (or resume) and fill a campaign."""
     campaign = Campaign(harness, path)
-    campaign.run(designs, workloads)
+    campaign.run(designs, workloads, jobs=jobs)
     return campaign

@@ -22,6 +22,7 @@ Benchmarks under ``benchmarks/`` are thin wrappers over these methods.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -55,6 +56,7 @@ from .metrics import (
     geomean_speedup,
     summarise_group,
 )
+from .resultcache import ResultCache
 
 KIB = 1024
 
@@ -89,10 +91,21 @@ def fitted_devices(scale: SystemScale, page_bytes: int = 64 * KIB,
 
 
 class ExperimentHarness:
-    """Runs and caches everything the paper's evaluation needs."""
+    """Runs and caches everything the paper's evaluation needs.
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    Args:
+        config: Shared experiment knobs (scale, window, seed, ...).
+        cache: Optional persistent :class:`ResultCache`.  When given,
+            design/Bumblebee comparison records are looked up by the
+            content hash of their full input description before any
+            simulation runs, and stored after; records round-trip
+            bit-identically, so cached and fresh results are equal.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None,
+                 cache: ResultCache | None = None) -> None:
         self.config = config or ExperimentConfig()
+        self.cache = cache
         self.hbm_config, self.dram_config = fitted_devices(self.config.scale)
         self.driver = SimulationDriver(self.config.cpu)
         self._traces: dict[str, list] = {}
@@ -100,6 +113,77 @@ class ExperimentHarness:
         self._comparisons: dict[tuple[str, str], WorkloadComparison] = {}
 
     # ---- shared plumbing -------------------------------------------------
+
+    def _key_fields(self, workload: str) -> dict:
+        """Common cache-key components of any run on ``workload``."""
+        # Lazy import: repro/__init__ pulls in this module's package.
+        from .. import __version__
+        c = self.config
+        return {
+            "workload": workload,
+            "spec": dataclasses.asdict(SPEC2017[workload]),
+            "scale": c.scale.factor,
+            "requests": c.requests,
+            "warmup": c.warmup,
+            "seed": c.seed,
+            "cpu": dataclasses.asdict(c.cpu),
+            "version": __version__,
+        }
+
+    def _comparison_key(self, design: str, workload: str) -> str:
+        """Cache key of one named-design cell."""
+        return ResultCache.key_for(
+            kind="design",
+            design=design,
+            hbm=dataclasses.asdict(self.hbm_config),
+            dram=dataclasses.asdict(self.dram_config),
+            sram_bytes=self.config.scale.sram_bytes,
+            **self._key_fields(workload))
+
+    def _bumblebee_key(self, bumblebee_config: BumblebeeConfig,
+                       workload: str, name: str,
+                       hbm_config: DeviceConfig,
+                       dram_config: DeviceConfig) -> str:
+        """Cache key of one custom-Bumblebee cell."""
+        return ResultCache.key_for(
+            kind="bumblebee",
+            design=name,
+            bumblebee=dataclasses.asdict(bumblebee_config),
+            hbm=dataclasses.asdict(hbm_config),
+            dram=dataclasses.asdict(dram_config),
+            **self._key_fields(workload))
+
+    def cached_comparison(self, design: str,
+                          workload: str) -> WorkloadComparison | None:
+        """The cell's comparison from memory or the persistent cache.
+
+        Returns None when the cell has not been computed (no simulation
+        is triggered).
+        """
+        key = (design, workload)
+        if key in self._comparisons:
+            return self._comparisons[key]
+        if self.cache is not None:
+            record = self.cache.get(self._comparison_key(design, workload))
+            if record is not None:
+                comparison = WorkloadComparison(**record)
+                self._comparisons[key] = comparison
+                return comparison
+        return None
+
+    def absorb_comparison(self, design: str, workload: str,
+                          record: dict) -> WorkloadComparison:
+        """Adopt a comparison computed elsewhere (a worker process).
+
+        The record (a ``dataclasses.asdict`` dump) lands in the in-memory
+        cell cache and, when configured, the persistent cache — exactly
+        as if this harness had simulated the cell itself.
+        """
+        comparison = WorkloadComparison(**record)
+        self._comparisons[(design, workload)] = comparison
+        if self.cache is not None:
+            self.cache.put(self._comparison_key(design, workload), record)
+        return comparison
 
     def trace(self, workload: str) -> list:
         """The workload's materialised miss stream (cached)."""
@@ -123,18 +207,23 @@ class ExperimentHarness:
 
     def run_design(self, design: str, workload: str) -> WorkloadComparison:
         """Run one named design on one workload, normalised (cached:
-        repeated figures share the same deterministic run)."""
-        key = (design, workload)
-        if key not in self._comparisons:
-            controller = make_controller(
-                design, self.hbm_config, self.dram_config,
-                sram_bytes=self.config.scale.sram_bytes)
-            result = self.driver.run(controller, self.trace(workload),
-                                     workload=workload,
-                                     warmup=self.config.warmup)
-            self._comparisons[key] = compare(result,
-                                             self.baseline(workload))
-        return self._comparisons[key]
+        repeated figures share the same deterministic run, and the
+        persistent cache — when configured — spans processes)."""
+        cached = self.cached_comparison(design, workload)
+        if cached is not None:
+            return cached
+        controller = make_controller(
+            design, self.hbm_config, self.dram_config,
+            sram_bytes=self.config.scale.sram_bytes)
+        result = self.driver.run(controller, self.trace(workload),
+                                 workload=workload,
+                                 warmup=self.config.warmup)
+        comparison = compare(result, self.baseline(workload))
+        self._comparisons[(design, workload)] = comparison
+        if self.cache is not None:
+            self.cache.put(self._comparison_key(design, workload),
+                           dataclasses.asdict(comparison))
+        return comparison
 
     def run_bumblebee(self, bumblebee_config: BumblebeeConfig,
                       workload: str,
@@ -143,13 +232,24 @@ class ExperimentHarness:
                       dram_config: DeviceConfig | None = None
                       ) -> WorkloadComparison:
         """Run a custom Bumblebee configuration on one workload."""
-        controller = BumblebeeController(
-            hbm_config or self.hbm_config, dram_config or self.dram_config,
-            bumblebee_config, name=name)
+        hbm = hbm_config or self.hbm_config
+        dram = dram_config or self.dram_config
+        key = None
+        if self.cache is not None:
+            key = self._bumblebee_key(bumblebee_config, workload, name,
+                                      hbm, dram)
+            record = self.cache.get(key)
+            if record is not None:
+                return WorkloadComparison(**record)
+        controller = BumblebeeController(hbm, dram, bumblebee_config,
+                                         name=name)
         result = self.driver.run(controller, self.trace(workload),
                                  workload=workload,
                                  warmup=self.config.warmup)
-        return compare(result, self.baseline(workload))
+        comparison = compare(result, self.baseline(workload))
+        if key is not None:
+            self.cache.put(key, dataclasses.asdict(comparison))
+        return comparison
 
     # ---- Figure 1 ---------------------------------------------------------
 
@@ -212,14 +312,25 @@ class ExperimentHarness:
             block_sizes: Sequence[int] = (1 * KIB, 2 * KIB, 4 * KIB),
             page_sizes: Sequence[int] = (64 * KIB, 96 * KIB, 128 * KIB),
             workloads: Sequence[str] | None = None,
+            jobs: int | None = 1,
     ) -> dict[tuple[int, int], dict]:
         """Normalised IPC for each block-page configuration (Figure 6).
 
         Configurations whose metadata exceeds the (scaled) SRAM budget are
         reported with ``fits_sram=False``, mirroring the paper's 512KB
-        feasibility cut.
+        feasibility cut.  ``jobs`` > 1 fans the cells over processes.
         """
+        from .parallel import run_bumblebee_cells
         chosen = list(workloads or self.config.workloads)
+        cells = []
+        for page in page_sizes:
+            for block in block_sizes:
+                bconfig = BumblebeeConfig(page_bytes=page, block_bytes=block)
+                for workload in chosen:
+                    cells.append((bconfig, workload,
+                                  f"bee-{block}-{page}", page))
+        comparisons = run_bumblebee_cells(self, cells, jobs=jobs)
+        by_cell = dict(zip(cells, comparisons))
         out: dict[tuple[int, int], dict] = {}
         for page in page_sizes:
             hbm_config, dram_config = fitted_devices(self.config.scale,
@@ -230,14 +341,11 @@ class ExperimentHarness:
                     bconfig, hbm_config.geometry.capacity_bytes,
                     dram_config.geometry.capacity_bytes)
                 sizes = metadata_sizes(bconfig, geometry)
-                comparisons = [
-                    self.run_bumblebee(bconfig, workload,
-                                       name=f"bee-{block}-{page}",
-                                       hbm_config=hbm_config,
-                                       dram_config=dram_config)
-                    for workload in chosen]
+                picked = [by_cell[(bconfig, workload,
+                                   f"bee-{block}-{page}", page)]
+                          for workload in chosen]
                 out[(block, page)] = {
-                    "norm_ipc": geomean_speedup(comparisons),
+                    "norm_ipc": geomean_speedup(picked),
                     "metadata_bytes": sizes.total_bytes,
                     "fits_sram": sizes.total_bytes
                     <= self.config.scale.sram_bytes,
@@ -287,12 +395,22 @@ class ExperimentHarness:
     # ---- Figure 7 ----------------------------------------------------------
 
     def figure7_breakdown(self, variants: Sequence[str] | None = None,
-                          workloads: Sequence[str] | None = None
-                          ) -> dict[str, float]:
-        """Geomean speedup of each factor-breakdown variant (Figure 7)."""
+                          workloads: Sequence[str] | None = None,
+                          jobs: int | None = 1) -> dict[str, float]:
+        """Geomean speedup of each factor-breakdown variant (Figure 7).
+
+        ``jobs`` > 1 fans the (variant, workload) cells over processes;
+        the aggregates are bit-identical to a serial run.
+        """
+        from .parallel import run_design_cells
         chosen_workloads = list(workloads or self.config.workloads)
+        chosen_variants = list(variants or FIGURE7_VARIANTS)
+        run_design_cells(self, [(variant, workload)
+                                for variant in chosen_variants
+                                for workload in chosen_workloads],
+                         jobs=jobs)
         out = {}
-        for variant in (variants or FIGURE7_VARIANTS):
+        for variant in chosen_variants:
             comparisons = [self.run_design(variant, workload)
                            for workload in chosen_workloads]
             out[variant] = geomean_speedup(comparisons)
@@ -304,12 +422,20 @@ class ExperimentHarness:
                            workloads: Sequence[str] | None = None,
                            groups: Sequence[str] = ("high", "medium",
                                                     "low", "all"),
+                           jobs: int | None = 1,
                            ) -> dict[str, dict[str, GroupSummary]]:
         """Figures 8(a)-(d): per-MPKI-group normalised IPC / traffic /
-        energy for every design."""
+        energy for every design.  ``jobs`` > 1 fans the cells over
+        processes (results identical to a serial run)."""
+        from .parallel import run_design_cells
         chosen_workloads = list(workloads or self.config.workloads)
+        chosen_designs = list(designs or FIGURE8_DESIGNS)
+        run_design_cells(self, [(design, workload)
+                                for design in chosen_designs
+                                for workload in chosen_workloads],
+                         jobs=jobs)
         out: dict[str, dict[str, GroupSummary]] = {}
-        for design in (designs or FIGURE8_DESIGNS):
+        for design in chosen_designs:
             comparisons = [self.run_design(design, workload)
                            for workload in chosen_workloads]
             out[design] = {}

@@ -1,0 +1,211 @@
+"""Process-parallel execution of (design x workload) experiment cells.
+
+Every cell of the evaluation is an independent, deterministic function of
+the :class:`~repro.analysis.experiments.ExperimentConfig` and the cell
+coordinates: the trace is regenerated from the shared seed, the
+controller is built fresh per run, and nothing about one cell's result
+depends on which process computed it or in which order.  That makes the
+fan-out embarrassingly parallel *and* bit-identical to a serial run —
+the property the tests in ``tests/test_parallel.py`` pin down.
+
+Each worker process lazily builds one :class:`ExperimentHarness` per
+distinct config and keeps it for the life of the pool, so the expensive
+shared state (materialised traces, no-HBM baseline runs) is paid once
+per worker rather than once per cell.  Cells are handed out
+workload-major so a worker's consecutive cells tend to share a trace
+and baseline.
+
+Workers return plain ``dataclasses.asdict`` dumps (cheap to pickle);
+the parent harness re-adopts them through
+:meth:`ExperimentHarness.absorb_comparison`, which also feeds the
+persistent :class:`~repro.analysis.resultcache.ResultCache` when one is
+configured.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+from ..core.config import BumblebeeConfig
+from .experiments import ExperimentConfig, ExperimentHarness, fitted_devices
+from .metrics import WorkloadComparison
+
+#: One (design name, workload name) coordinate of the result matrix.
+DesignCell = "tuple[str, str]"
+
+#: One custom-Bumblebee coordinate:
+#: (config, workload, run name, page_bytes for device fitting or None).
+BumblebeeCell = "tuple[BumblebeeConfig, str, str, int | None]"
+
+# Per-process harness store: workers keep traces and baselines warm
+# across the cells they are handed (keyed by the frozen config, so one
+# pool can serve several harnesses).
+_WORKER_HARNESSES: dict[ExperimentConfig, ExperimentHarness] = {}
+
+
+def _worker_harness(config: ExperimentConfig) -> ExperimentHarness:
+    harness = _WORKER_HARNESSES.get(config)
+    if harness is None:
+        harness = _WORKER_HARNESSES[config] = ExperimentHarness(config)
+    return harness
+
+
+def _design_cell(task: tuple) -> dict:
+    """Worker: simulate one named-design cell, return its record."""
+    config, design, workload = task
+    harness = _worker_harness(config)
+    return dataclasses.asdict(harness.run_design(design, workload))
+
+
+def _bumblebee_cell(task: tuple) -> dict:
+    """Worker: simulate one custom-Bumblebee cell, return its record."""
+    config, bconfig, workload, name, page_bytes = task
+    harness = _worker_harness(config)
+    if page_bytes is None:
+        comparison = harness.run_bumblebee(bconfig, workload, name=name)
+    else:
+        hbm, dram = fitted_devices(config.scale, page_bytes=page_bytes)
+        comparison = harness.run_bumblebee(bconfig, workload, name=name,
+                                           hbm_config=hbm,
+                                           dram_config=dram)
+    return dataclasses.asdict(comparison)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value to a worker count.
+
+    None or 0 mean "all available cores"; negatives are rejected.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _chunked_map(worker: Callable, tasks: list, jobs: int) -> list:
+    """Map ``worker`` over ``tasks`` across ``jobs`` processes, in order."""
+    workers = min(jobs, len(tasks))
+    chunksize = -(-len(tasks) // workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(worker, tasks, chunksize=chunksize))
+
+
+def run_design_cells(
+        harness: ExperimentHarness,
+        cells: Sequence[tuple],
+        jobs: int | None = 1,
+        on_result: "Callable[[str, str, WorkloadComparison], None] | None"
+        = None,
+) -> "list[WorkloadComparison]":
+    """Fill (design, workload) cells, optionally across processes.
+
+    Already-known cells (harness memory or persistent cache) are reused;
+    the rest run serially (``jobs`` <= 1) or on a process pool.  Results
+    are bit-identical either way.
+
+    Args:
+        harness: The parent harness that adopts every result.
+        cells: (design, workload) pairs; duplicates are collapsed.
+        jobs: Worker processes (0/None = all cores, 1 = in-process).
+        on_result: Invoked once per unique cell, in cell order, with
+            (design, workload, comparison) — the campaign uses this for
+            incremental persistence.
+
+    Returns:
+        One comparison per unique cell, in first-appearance order.
+    """
+    unique = list(dict.fromkeys(tuple(cell) for cell in cells))
+    jobs = resolve_jobs(jobs)
+    known: dict[tuple, WorkloadComparison] = {}
+    todo = []
+    for cell in unique:
+        cached = harness.cached_comparison(*cell)
+        if cached is not None:
+            known[cell] = cached
+        else:
+            todo.append(cell)
+    if todo:
+        if jobs <= 1 or len(todo) == 1:
+            for design, workload in todo:
+                known[(design, workload)] = harness.run_design(design,
+                                                               workload)
+        else:
+            # Workload-major order: consecutive cells of one chunk share
+            # a trace and baseline inside their worker.
+            ordered = sorted(todo, key=lambda cell: (cell[1], cell[0]))
+            tasks = [(harness.config, design, workload)
+                     for design, workload in ordered]
+            records = _chunked_map(_design_cell, tasks, jobs)
+            for (design, workload), record in zip(ordered, records):
+                known[(design, workload)] = harness.absorb_comparison(
+                    design, workload, record)
+    results = [known[cell] for cell in unique]
+    if on_result is not None:
+        for cell, comparison in zip(unique, results):
+            on_result(cell[0], cell[1], comparison)
+    return results
+
+
+def run_bumblebee_cells(
+        harness: ExperimentHarness,
+        cells: Sequence[tuple],
+        jobs: int | None = 1,
+) -> "list[WorkloadComparison]":
+    """Run custom-Bumblebee cells, optionally across processes.
+
+    Args:
+        harness: The parent harness (its config seeds the workers).
+        cells: (BumblebeeConfig, workload, name, page_bytes) tuples;
+            ``page_bytes`` refits the devices for that page size, None
+            keeps the harness devices.
+        jobs: Worker processes (0/None = all cores, 1 = in-process).
+
+    Returns:
+        One comparison per cell, in input order (duplicates collapsed
+        internally but returned per input position).
+    """
+    unique = list(dict.fromkeys(tuple(cell) for cell in cells))
+    jobs = resolve_jobs(jobs)
+    known: dict[tuple, WorkloadComparison] = {}
+
+    def devices_for(page_bytes: "int | None"):
+        if page_bytes is None:
+            return harness.hbm_config, harness.dram_config
+        return fitted_devices(harness.config.scale, page_bytes=page_bytes)
+
+    def cache_key(cell: tuple) -> str:
+        bconfig, workload, name, page_bytes = cell
+        hbm, dram = devices_for(page_bytes)
+        return harness._bumblebee_key(bconfig, workload, name, hbm, dram)
+
+    todo = []
+    for cell in unique:
+        record = (harness.cache.get(cache_key(cell))
+                  if harness.cache is not None else None)
+        if record is not None:
+            known[cell] = WorkloadComparison(**record)
+        else:
+            todo.append(cell)
+    if todo:
+        if jobs <= 1 or len(todo) == 1:
+            for cell in todo:
+                bconfig, workload, name, page_bytes = cell
+                hbm, dram = devices_for(page_bytes)
+                known[cell] = harness.run_bumblebee(
+                    bconfig, workload, name=name,
+                    hbm_config=hbm, dram_config=dram)
+        else:
+            ordered = sorted(
+                todo, key=lambda cell: (cell[1], cell[2], cell[3] or 0))
+            tasks = [(harness.config, bconfig, workload, name, page_bytes)
+                     for bconfig, workload, name, page_bytes in ordered]
+            records = _chunked_map(_bumblebee_cell, tasks, jobs)
+            for cell, record in zip(ordered, records):
+                known[cell] = WorkloadComparison(**record)
+                if harness.cache is not None:
+                    harness.cache.put(cache_key(cell), record)
+    return [known[tuple(cell)] for cell in cells]

@@ -29,7 +29,8 @@ def config_with(base: BumblebeeConfig, **overrides: Any) -> BumblebeeConfig:
 def sweep_bumblebee(harness: ExperimentHarness, field: str,
                     values: Iterable[Any],
                     workloads: Sequence[str] | None = None,
-                    base: BumblebeeConfig | None = None
+                    base: BumblebeeConfig | None = None,
+                    jobs: int | None = 1
                     ) -> dict[Any, float]:
     """Geomean speedup of Bumblebee for each value of one config field.
 
@@ -39,18 +40,22 @@ def sweep_bumblebee(harness: ExperimentHarness, field: str,
         values: Values to sweep.
         workloads: Workload subset (defaults to the harness's full list).
         base: Starting configuration for the non-swept fields.
+        jobs: Worker processes for the sweep cells (0/None = all cores,
+            1 = in-process); results are identical either way.
 
     Returns:
         Mapping from swept value to geomean normalised IPC.
     """
+    from .parallel import run_bumblebee_cells
     base = base or BumblebeeConfig()
     chosen = list(workloads or harness.config.workloads)
+    swept = list(values)
+    cells = [(config_with(base, **{field: value}), workload,
+              f"bee-{field}={value}", None)
+             for value in swept for workload in chosen]
+    comparisons = run_bumblebee_cells(harness, cells, jobs=jobs)
     out: dict[Any, float] = {}
-    for value in values:
-        config = config_with(base, **{field: value})
-        comparisons = [
-            harness.run_bumblebee(config, workload,
-                                  name=f"bee-{field}={value}")
-            for workload in chosen]
-        out[value] = geomean_speedup(comparisons)
+    for i, value in enumerate(swept):
+        picked = comparisons[i * len(chosen):(i + 1) * len(chosen)]
+        out[value] = geomean_speedup(picked)
     return out

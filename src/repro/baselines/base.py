@@ -107,6 +107,13 @@ class HybridMemoryController(abc.ABC):
         self.dram = MemoryDevice(dram_config)
         self.stats = StatGroup(name)
         self.mover = MovementEngine(self.hbm, self.dram, self.stats)
+        # Demand-path constants, hoisted so the per-request helpers avoid
+        # repeated property chains.  Device capacities never change after
+        # construction; OS-visible capacity is cached on first use (it is
+        # a subclass hook, but constant per instance in every design).
+        self._hbm_capacity = self.hbm.capacity_bytes if self.hbm else 0
+        self._dram_capacity = self.dram.capacity_bytes
+        self._os_visible_cache: int | None = None
 
     # ---- demand-path helpers -------------------------------------------
 
@@ -114,11 +121,12 @@ class HybridMemoryController(abc.ABC):
                     now_ns: float, metadata_ns: float = 0.0) -> AccessResult:
         """Serve the demand from HBM and account the hit."""
         assert self.hbm is not None
-        access = self.hbm.access(hbm_addr % self.hbm.capacity_bytes,
+        access = self.hbm.access(hbm_addr % self._hbm_capacity,
                                  request.size, request.is_write,
                                  now_ns + metadata_ns)
-        self.stats.bump("hbm_demand_hits")
-        self._count_demand(request)
+        bump = self.stats.bump
+        bump("hbm_demand_hits")
+        bump("demand_writes" if request.is_write else "demand_reads")
         return AccessResult(
             latency_ns=access.done_ns - now_ns,
             serviced_by=ServicedBy.HBM,
@@ -129,10 +137,11 @@ class HybridMemoryController(abc.ABC):
     def _demand_dram(self, dram_addr: int, request: MemoryRequest,
                      now_ns: float, metadata_ns: float = 0.0) -> AccessResult:
         """Serve the demand from off-chip DRAM."""
-        access = self.dram.access(dram_addr % self.dram.capacity_bytes,
+        access = self.dram.access(dram_addr % self._dram_capacity,
                                   request.size, request.is_write,
                                   now_ns + metadata_ns)
-        self._count_demand(request)
+        self.stats.bump("demand_writes" if request.is_write
+                        else "demand_reads")
         return AccessResult(
             latency_ns=access.done_ns - now_ns,
             serviced_by=ServicedBy.DRAM,
@@ -162,7 +171,10 @@ class HybridMemoryController(abc.ABC):
 
     def page_fault_penalty_ns(self, request: MemoryRequest) -> float:
         """Extra latency when the access lands beyond OS-visible memory."""
-        if request.addr >= self.os_visible_bytes():
+        visible = self._os_visible_cache
+        if visible is None:
+            visible = self._os_visible_cache = self.os_visible_bytes()
+        if request.addr >= visible:
             self.stats.bump("page_faults")
             return self.PAGE_FAULT_NS
         return 0.0

@@ -51,12 +51,37 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
                         help="trace generator seed")
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
+def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_jobs_arg, default=1,
+                        help="worker processes for independent cells "
+                             "(0 = all cores; results are identical to "
+                             "a serial run)")
+    parser.add_argument("--cache", metavar="DIR", nargs="?", const="",
+                        default=None,
+                        help="enable the persistent result cache; with no "
+                             "DIR, uses $REPRO_CACHE_DIR or "
+                             "~/.cache/repro-bumblebee")
+
+
 def _harness(args: argparse.Namespace,
              workloads: Sequence[str] | None = None) -> ExperimentHarness:
     config = ExperimentConfig(
         requests=args.requests, warmup=args.warmup, seed=args.seed,
         workloads=tuple(workloads) if workloads else tuple(SPEC2017))
-    return ExperimentHarness(config)
+    cache = None
+    cache_dir = getattr(args, "cache", None)
+    if cache_dir is not None:
+        from .analysis import ResultCache
+        cache = ResultCache(cache_dir or None)
+    return ExperimentHarness(config, cache=cache)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -95,13 +120,15 @@ def cmd_figure(args: argparse.Namespace) -> int:
         print(format_figure1(harness.figure1_line_utilisation()))
     elif fig == "6":
         print(format_figure6(harness.figure6_design_space(
-            workloads=("mcf", "wrf", "xz", "lbm", "xalancbmk", "roms"))))
+            workloads=("mcf", "wrf", "xz", "lbm", "xalancbmk", "roms"),
+            jobs=args.jobs)))
     elif fig == "7":
-        print(format_figure7(harness.figure7_breakdown()))
+        print(format_figure7(harness.figure7_breakdown(jobs=args.jobs)))
     elif fig in ("8a", "8b", "8c", "8d"):
         metric = {"8a": "norm_ipc", "8b": "norm_hbm_traffic",
                   "8c": "norm_dram_traffic", "8d": "norm_energy"}[fig]
-        print(format_figure8(harness.figure8_comparison(), metric))
+        print(format_figure8(harness.figure8_comparison(jobs=args.jobs),
+                             metric))
     elif fig == "table2":
         print(format_table2(harness.table2_characteristics()))
     elif fig == "overfetch":
@@ -133,7 +160,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from .analysis import Campaign
     harness = _harness(args, args.workloads)
     campaign = Campaign(harness, args.out)
-    new_runs = campaign.run(args.designs, args.workloads)
+    new_runs = campaign.run(args.designs, args.workloads, jobs=args.jobs)
     print(f"campaign: {campaign.completed_cells} cells complete "
           f"({new_runs} new) -> {args.out}\n")
     print(campaign.render(args.metric))
@@ -207,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--id", required=True,
                         help="1, 6, 7, 8a-8d, table2, overfetch, overheads")
     _add_window_args(figure)
+    _add_scaling_args(figure)
     figure.set_defaults(func=cmd_figure)
 
     characterise = sub.add_parser(
@@ -230,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                           default=["mcf", "wrf", "xz", "roms"])
     campaign.add_argument("--metric", default="norm_ipc")
     _add_window_args(campaign)
+    _add_scaling_args(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     validate = sub.add_parser(

@@ -80,6 +80,22 @@ class BumblebeeController(HybridMemoryController):
         else:
             self._chbm_ways = range(c.fixed_chbm_ways)
             self._mhbm_ways = range(c.fixed_chbm_ways, g.hbm_ways)
+        # Access-path constants hoisted out of the per-request methods
+        # (config and geometry are frozen dataclasses whose property
+        # chains would otherwise be re-walked on every LLC miss).
+        self._page_bytes = c.page_bytes
+        self._block_bytes = c.block_bytes
+        self._sets = g.sets
+        self._slots_per_set = g.slots_per_set
+        self._dram_slots = g.dram_slots
+        self._meta_in_hbm = c.metadata_in_hbm
+        self._hmf_on = c.hmf_enabled
+        # Direct references into the per-set metadata containers.  The
+        # aliased lists are mutated in place and never rebound, so these
+        # stay coherent; they spare the PRT/BLE __getitem__ calls on the
+        # demand path.
+        self._slot_maps = [rset._slot_of for rset in self.prt]
+        self._ble_entries = [array._entries for array in self.ble]
 
     # ------------------------------------------------------------------
     # Figure 5: the memory access path
@@ -87,18 +103,23 @@ class BumblebeeController(HybridMemoryController):
 
     def access(self, request: MemoryRequest, now_ns: float) -> AccessResult:
         metadata_ns = (self._metadata_access_ns(now_ns)
-                       if self.config.metadata_in_hbm else 0.0)
-        if self.config.hmf_enabled:
-            self._global_footprint_check(request.addr, now_ns)
-        set_index, orig = self.geometry.locate(request.addr)
-        rset = self.prt[set_index]
-        slot = rset.slot_of(orig)
+                       if self._meta_in_hbm else 0.0)
+        addr = request.addr
+        if self._hmf_on:
+            self._global_footprint_check(addr, now_ns)
+        # Inlined geometry.locate(addr) — same arithmetic, no calls.
+        page_bytes = self._page_bytes
+        sets = self._sets
+        page = addr // page_bytes
+        set_index = page % sets
+        orig = (page // sets) % self._slots_per_set
+        slot = self._slot_maps[set_index][orig]
         if slot == UNALLOCATED:                              # (1) PRT miss
             slot = self._allocate_page(set_index, orig, now_ns)
-        offset = request.addr % self.config.page_bytes
-        block = offset // self.config.block_bytes
+        offset = addr % page_bytes
+        block = offset // self._block_bytes
 
-        if self.geometry.is_hbm_slot(slot):                  # (3) in mHBM
+        if slot >= self._dram_slots:                         # (3) in mHBM
             return self._access_mhbm(set_index, orig, slot, block, offset,
                                      request, now_ns, metadata_ns)
         return self._access_dram_home(set_index, orig, slot, block, offset,
@@ -107,12 +128,16 @@ class BumblebeeController(HybridMemoryController):
     def _access_mhbm(self, set_index: int, orig: int, slot: int, block: int,
                      offset: int, request: MemoryRequest, now_ns: float,
                      metadata_ns: float) -> AccessResult:
-        way = slot - self.geometry.dram_slots
-        entry = self.ble[set_index][way]
-        entry.mark_valid(block)
-        entry.mark_used_line(offset // 64)
+        way = slot - self._dram_slots
+        entry = self._ble_entries[set_index][way]
+        # Inlined mark_valid / mark_used_line (same bit ops, no calls).
+        entry.valid |= 1 << block
+        entry.used |= 1 << (offset >> 6)
         self.hot[set_index].record_hbm_access(orig)
-        hbm_addr = self.geometry.hbm_page_addr(set_index, slot) + offset
+        # Inlined geometry.hbm_page_addr(set_index, slot) — slot is an
+        # HBM slot by the branch above, so the range check is redundant.
+        hbm_addr = (way * self._sets + set_index) * self._page_bytes \
+            + offset
         # §III-E (3): accessing an mHBM page incurs no data movement.
         return self._demand_hbm(hbm_addr, request, now_ns, metadata_ns)
 
@@ -121,18 +146,19 @@ class BumblebeeController(HybridMemoryController):
                           now_ns: float, metadata_ns: float) -> AccessResult:
         ble = self.ble[set_index]
         tracker = self.hot[set_index]
-        dram_addr = self.geometry.dram_page_addr(set_index, slot) + offset
+        # Inlined geometry.dram_page_addr — slot is a DRAM slot here.
+        dram_addr = (slot * self._sets + set_index) * self._page_bytes \
+            + offset
         way = ble.find_owner(orig)
         if way is not None and ble[way].mode is WayMode.CHBM:
             entry = ble[way]
             tracker.record_hbm_access(orig)
-            if entry.block_valid(block):                     # (7) block hit
-                entry.mark_used_line(offset // 64)
+            if entry.valid >> block & 1:                     # (7) block hit
+                entry.used |= 1 << (offset >> 6)
                 if request.is_write:
-                    entry.mark_dirty(block)
-                hbm_addr = (self.geometry.hbm_page_addr(
-                    set_index, self.geometry.dram_slots + way)
-                    + offset)
+                    entry.dirty |= 1 << block
+                hbm_addr = (way * self._sets + set_index) \
+                    * self._page_bytes + offset
                 result = self._demand_hbm(hbm_addr, request, now_ns,
                                           metadata_ns)
                 # Re-heated buffer pages (all blocks valid after an
@@ -573,8 +599,7 @@ class BumblebeeController(HybridMemoryController):
 
     def _global_footprint_check(self, addr: int, now_ns: float) -> None:
         """§III-E HMF (5): batch-flush cHBM when the footprint tops DRAM."""
-        dram_bytes = self.dram.capacity_bytes
-        if addr >= dram_bytes:
+        if addr >= self._dram_capacity:
             # While the footprint stays above off-chip capacity, keep
             # returning cHBM capacity to the OS, one batch of sets at a
             # time (the paper's batching mechanism).

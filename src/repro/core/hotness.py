@@ -109,17 +109,33 @@ class HotnessTracker:
 
     def record_hbm_access(self, page: int) -> None:
         """An access hit a page currently in HBM (either mode)."""
-        if not self.hbm_queue.touch(page, self.counter_max):
+        # Inlined HotQueue.touch (same dict ops, one call level less —
+        # this runs once per HBM demand hit).
+        queue = self.hbm_queue
+        entries = queue._entries
+        if page in entries:
+            bumped = entries[page] + 1
+            cap = self.counter_max
+            entries[page] = bumped if bumped < cap else cap
+            entries.move_to_end(page)
+        else:
             # A page can be in HBM without a queue entry only transiently
             # (e.g. right after a swap); (re)adopt it.  The push cannot
             # overflow in steady state because queue capacity equals the
             # number of HBM ways.
-            self.hbm_queue.push(page, 1)
+            queue.push(page, 1)
 
     def record_dram_access(self, page: int) -> None:
         """An access went to an off-chip page not present in HBM."""
-        if not self.dram_queue.touch(page, self.counter_max):
-            self.dram_queue.push(page, 1)
+        queue = self.dram_queue
+        entries = queue._entries
+        if page in entries:
+            bumped = entries[page] + 1
+            cap = self.counter_max
+            entries[page] = bumped if bumped < cap else cap
+            entries.move_to_end(page)
+        else:
+            queue.push(page, 1)
 
     # ---- promotion / demotion --------------------------------------------
 

@@ -23,7 +23,7 @@ class RowBufferOutcome(enum.Enum):
     CONFLICT = "conflict"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BankAccess:
     """Result of presenting one column access to a bank.
 
@@ -45,11 +45,18 @@ class BankAccess:
 class Bank:
     """One DRAM bank with an open-page policy."""
 
-    __slots__ = ("_timings", "_open_row", "_busy_until_ns", "hits",
+    __slots__ = ("_timings", "_row_hit_ns", "_row_closed_ns",
+                 "_row_conflict_ns", "_open_row", "_busy_until_ns", "hits",
                  "closed", "conflicts")
 
     def __init__(self, timings: DeviceTimings) -> None:
         self._timings = timings
+        # The three row-buffer latencies are hoisted out of the access
+        # path: the timing properties re-derive them from cycle counts on
+        # every call, and access() is the simulator's innermost function.
+        self._row_hit_ns = timings.row_hit_ns
+        self._row_closed_ns = timings.row_closed_ns
+        self._row_conflict_ns = timings.row_conflict_ns
         self._open_row: int | None = None
         self._busy_until_ns = 0.0
         self.hits = 0
@@ -71,21 +78,22 @@ class Bank:
         The bank serialises with itself: an access arriving while the bank
         is busy waits for the previous one to finish.
         """
-        t = self._timings
-        issue = max(now_ns, self._busy_until_ns)
-        if self._open_row == row:
+        busy = self._busy_until_ns
+        issue = now_ns if now_ns > busy else busy
+        open_row = self._open_row
+        if open_row == row:
             outcome = RowBufferOutcome.HIT
-            latency = t.row_hit_ns
+            latency = self._row_hit_ns
             self.hits += 1
             activated = False
-        elif self._open_row is None:
+        elif open_row is None:
             outcome = RowBufferOutcome.CLOSED
-            latency = t.row_closed_ns
+            latency = self._row_closed_ns
             self.closed += 1
             activated = True
         else:
             outcome = RowBufferOutcome.CONFLICT
-            latency = t.row_conflict_ns
+            latency = self._row_conflict_ns
             self.conflicts += 1
             activated = True
         data = issue + latency

@@ -30,7 +30,7 @@ from .timing import DeviceConfig
 MOVEMENT_CHUNK_BYTES = 512
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChannelAccess:
     """Timing result of one demand access on a channel."""
 
@@ -46,6 +46,11 @@ class ChannelAccess:
 class Channel:
     """A single channel with ``banks_per_channel`` banks and one data bus."""
 
+    __slots__ = ("_config", "index", "_banks", "_bus_free_ns",
+                 "_backlog_ns", "_backlog_at_ns", "_chunk_ns",
+                 "_bus_bytes", "_tck_half_ns", "_burst_bytes", "counters",
+                 "read_bytes", "write_bytes")
+
     def __init__(self, config: DeviceConfig, index: int) -> None:
         self._config = config
         self.index = index
@@ -55,6 +60,12 @@ class Channel:
         self._backlog_ns = 0.0
         self._backlog_at_ns = 0.0
         self._chunk_ns = config.burst_ns(MOVEMENT_CHUNK_BYTES)
+        # Hoisted constants for the demand path: burst_ns() and the
+        # per-burst byte count are pure functions of the config.
+        self._bus_bytes = config.geometry.bus_bytes
+        self._tck_half_ns = config.timings.tck_ns / 2.0
+        self._burst_bytes = (config.timings.burst_length
+                             * config.geometry.bus_bytes)
         self.counters = EnergyCounters()
         self.read_bytes = 0
         self.write_bytes = 0
@@ -82,15 +93,41 @@ class Channel:
                now_ns: float) -> ChannelAccess:
         """A demand access: full bank FSM, bus serialisation, and at most
         one movement chunk of interference."""
-        self._drain_backlog(now_ns)
+        # Demand path of the simulator's hottest loop: the backlog drain,
+        # burst timing, and traffic accounting are inlined with hoisted
+        # locals (same arithmetic as _drain_backlog/burst_ns/_account).
+        if now_ns > self._backlog_at_ns:
+            drained = self._backlog_ns - (now_ns - self._backlog_at_ns)
+            self._backlog_ns = drained if drained > 0.0 else 0.0
+            self._backlog_at_ns = now_ns
         bank_result = self._banks[bank].access(row, now_ns)
-        burst = self._config.burst_ns(nbytes)
-        interference = min(self._backlog_ns, self._chunk_ns)
-        transfer_start = max(bank_result.data_ns,
-                             self._bus_free_ns) + interference
+        bus_bytes = self._bus_bytes
+        beats = (nbytes + bus_bytes - 1) // bus_bytes
+        burst = (beats if beats > 1 else 1) * self._tck_half_ns
+        backlog = self._backlog_ns
+        chunk = self._chunk_ns
+        interference = backlog if backlog < chunk else chunk
+        data = bank_result.data_ns
+        bus_free = self._bus_free_ns
+        transfer_start = (data if data > bus_free else bus_free) \
+            + interference
         done = transfer_start + burst
         self._bus_free_ns = done
-        self._account(nbytes, is_write, bank_result.activated, done)
+        counters = self.counters
+        burst_bytes = self._burst_bytes
+        bursts = (nbytes + burst_bytes - 1) // burst_bytes
+        if bursts < 1:
+            bursts = 1
+        if bank_result.activated:
+            counters.activations += 1
+        if is_write:
+            counters.write_bursts += bursts
+            self.write_bytes += nbytes
+        else:
+            counters.read_bursts += bursts
+            self.read_bytes += nbytes
+        if done > counters.busy_ns:
+            counters.busy_ns = done
         return ChannelAccess(start_ns=now_ns, done_ns=done,
                              outcome=bank_result.outcome)
 
@@ -113,8 +150,7 @@ class Channel:
 
     def _account(self, nbytes: int, is_write: bool, activated: bool,
                  done_ns: float) -> None:
-        burst_bytes = (self._config.timings.burst_length
-                       * self._config.geometry.bus_bytes)
+        burst_bytes = self._burst_bytes
         bursts = max(1, (nbytes + burst_bytes - 1) // burst_bytes)
         if activated:
             self.counters.activations += 1

@@ -42,6 +42,14 @@ class MemoryDevice:
         self._channels = [Channel(config, i)
                           for i in range(config.geometry.channels)]
         self._energy_model = EnergyModel(config)
+        # Geometry constants hoisted for the demand-path decode in
+        # access(), which inlines AddressMapper.decode's arithmetic.
+        g = config.geometry
+        self._capacity = g.capacity_bytes
+        self._interleave = g.interleave_bytes
+        self._nchannels = g.channels
+        self._row_bytes = g.row_bytes
+        self._banks_per_channel = g.banks_per_channel
 
     @property
     def config(self) -> DeviceConfig:
@@ -66,10 +74,19 @@ class MemoryDevice:
     def access(self, addr: int, nbytes: int, is_write: bool,
                now_ns: float) -> ChannelAccess:
         """Demand access at device-local byte address ``addr``."""
-        decoded = self._mapper.decode(addr)
-        channel = self._channels[decoded.channel]
-        return channel.access(decoded.bank, decoded.row, nbytes,
-                              is_write, now_ns)
+        # Inlined AddressMapper.decode (same arithmetic) — one call and
+        # one DecodedAddress allocation saved per simulated request.
+        if addr < 0 or addr >= self._capacity:
+            self._mapper.decode(addr)  # raises the canonical range error
+        interleave = self._interleave
+        nchannels = self._nchannels
+        chunk = addr // interleave
+        local = (chunk // nchannels) * interleave + addr % interleave
+        row_index = local // self._row_bytes
+        banks = self._banks_per_channel
+        return self._channels[chunk % nchannels].access(
+            row_index % banks, row_index // banks, nbytes, is_write,
+            now_ns)
 
     def bulk_transfer(self, addr: int, nbytes: int, is_write: bool,
                       now_ns: float) -> float:

@@ -10,6 +10,7 @@ traffic, per-device dynamic energy, and the controller's own statistics
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, TYPE_CHECKING
 
@@ -55,6 +56,16 @@ class SimResult:
 
     @property
     def ipc(self) -> float:
+        """Achieved IPC of the measured window.
+
+        Raises:
+            ValueError: for a zero-request run, which has no meaningful
+                IPC (nothing was measured, so none is fabricated).
+        """
+        if self.requests == 0 or self.elapsed_ns <= 0:
+            raise ValueError(
+                f"zero-request run ({self.controller!r} on "
+                f"{self.workload!r}) has no IPC")
         return self.cpu.ipc(self.instructions, self.elapsed_ns)
 
     @property
@@ -157,7 +168,24 @@ class SimulationDriver:
 
         Returns:
             A fully populated :class:`SimResult` (measured window only).
+            A window that measured zero requests is returned with
+            ``elapsed_ns == 0.0``; reading :attr:`SimResult.ipc` then
+            raises instead of fabricating a number.
         """
+        # This loop runs once per simulated LLC miss and dominates every
+        # experiment's wall time.  All attribute lookups are hoisted to
+        # locals, the analytic CPU model is inlined (same arithmetic as
+        # CpuModel.compute_ns/stall_ns, term for term), and the histogram
+        # insert is a single bisect on a local counts list.
+        cpu = self.cpu
+        retire_rate = cpu.ipc_peak * cpu.cores
+        freq_ghz = cpu.freq_ghz
+        mlp = cpu.mlp
+        controller_access = controller.access
+        fault_penalty = controller.page_fault_penalty_ns
+        bounds = LATENCY_BOUNDS
+        bucket = bisect_right
+        limit = float("inf") if max_requests is None else max_requests
         now_ns = 0.0
         measure_start_ns = 0.0
         instructions = 0
@@ -166,9 +194,9 @@ class SimulationDriver:
         total_latency = 0.0
         total_metadata = 0.0
         hbm_hits = 0
-        histogram = Histogram(bounds=list(LATENCY_BOUNDS))
+        counts = [0] * (len(bounds) + 1)
         for request in trace:
-            if max_requests is not None and requests >= max_requests:
+            if requests >= limit:
                 break
             if seen == warmup and warmup:
                 controller.reset_measurements()
@@ -178,22 +206,25 @@ class SimulationDriver:
                 total_metadata = 0.0
                 hbm_hits = 0
                 requests = 0
-                histogram = Histogram(bounds=list(LATENCY_BOUNDS))
+                counts = [0] * (len(bounds) + 1)
             seen += 1
-            now_ns += self.cpu.compute_ns(request.icount)
-            instructions += request.icount
-            fault_ns = controller.page_fault_penalty_ns(request)
-            result = controller.access(request, now_ns + fault_ns)
+            icount = request.icount
+            now_ns += icount / retire_rate / freq_ghz
+            instructions += icount
+            fault_ns = fault_penalty(request)
+            result = controller_access(request, now_ns + fault_ns)
             latency_ns = result.latency_ns + fault_ns
-            now_ns += self.cpu.stall_ns(latency_ns)
+            now_ns += latency_ns / mlp
             total_latency += latency_ns
             total_metadata += result.metadata_ns
-            histogram.add(latency_ns)
+            counts[bucket(bounds, latency_ns)] += 1
             if result.hbm_hit:
                 hbm_hits += 1
             requests += 1
         controller.finish(now_ns)
         now_ns -= measure_start_ns
+        histogram = Histogram(bounds=list(LATENCY_BOUNDS), counts=counts,
+                              total=requests)
         hbm_traffic = controller.hbm.traffic() if controller.hbm else None
         dram_traffic = controller.dram.traffic()
         zero = EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
@@ -202,7 +233,7 @@ class SimulationDriver:
             workload=workload,
             instructions=instructions,
             requests=requests,
-            elapsed_ns=now_ns if now_ns > 0 else 1.0,
+            elapsed_ns=now_ns,
             total_latency_ns=total_latency,
             total_metadata_ns=total_metadata,
             hbm_hits=hbm_hits,

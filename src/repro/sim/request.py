@@ -9,7 +9,7 @@ a read/write flag, and the instruction-count gap since the previous miss
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 CACHE_LINE_BYTES = 64
@@ -22,7 +22,7 @@ class ServicedBy(enum.Enum):
     DRAM = "dram"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRequest:
     """One LLC-miss memory request.
 
@@ -44,7 +44,7 @@ class MemoryRequest:
         return self.addr // CACHE_LINE_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessResult:
     """The controller's answer to one request.
 

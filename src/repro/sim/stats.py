@@ -6,6 +6,7 @@ gem5's stats package but flat and pickle-friendly.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -68,12 +69,9 @@ class Histogram:
 
     def add(self, sample: float, weight: int = 1) -> None:
         """Record ``sample`` with multiplicity ``weight``."""
-        for i, bound in enumerate(self.bounds):
-            if sample < bound:
-                self.counts[i] += weight
-                break
-        else:
-            self.counts[-1] += weight
+        # bisect_right returns the first bucket whose bound exceeds the
+        # sample — exactly the linear scan's bucket, without the scan.
+        self.counts[bisect_right(self.bounds, sample)] += weight
         self.total += weight
 
     def fractions(self) -> list[float]:

@@ -13,6 +13,12 @@ FAST = ExperimentConfig(requests=2500, warmup=500,
                         workloads=("leela", "mcf"))
 
 
+def read_records(path):
+    """Records from a campaign file (JSON Lines, one per line)."""
+    return [json.loads(line)
+            for line in path.read_text().splitlines() if line.strip()]
+
+
 @pytest.fixture()
 def harness():
     return ExperimentHarness(FAST)
@@ -24,7 +30,7 @@ class TestCampaign:
         campaign = run_campaign(harness, path, ["Bumblebee"],
                                 ["leela", "mcf"])
         assert campaign.completed_cells == 2
-        records = json.loads(path.read_text())
+        records = read_records(path)
         assert {r["workload"] for r in records} == {"leela", "mcf"}
         assert all("norm_ipc" in r for r in records)
 
@@ -39,7 +45,7 @@ class TestCampaign:
     def test_records_carry_config(self, harness, tmp_path):
         path = tmp_path / "c.json"
         run_campaign(harness, path, ["Bumblebee"], ["leela"])
-        record = json.loads(path.read_text())[0]
+        record = read_records(path)[0]
         assert record["config"]["requests"] == FAST.requests
         assert record["config"]["seed"] == FAST.seed
 
