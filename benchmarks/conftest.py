@@ -12,6 +12,11 @@ sessions: re-running the suite with unchanged inputs loads stored
 records instead of re-simulating.  ``REPRO_BENCH_CACHE`` controls it —
 unset uses ``benchmarks/.result_cache``, a path overrides the location,
 and ``0`` / ``off`` / ``none`` disables caching.
+
+Packed miss streams follow the same discipline through the on-disk
+:class:`~repro.traces.tracecache.TraceCache`: ``REPRO_BENCH_TRACE_CACHE``
+unset uses ``benchmarks/.trace_cache``, a path overrides it, and the
+same off-values disable it.
 """
 
 from __future__ import annotations
@@ -42,6 +47,15 @@ def _bench_cache() -> ResultCache | None:
     return ResultCache(root)
 
 
+def _bench_trace_cache_dir() -> str:
+    """The ``trace_cache_dir`` config value for benchmark harnesses."""
+    setting = os.environ.get("REPRO_BENCH_TRACE_CACHE", "")
+    if setting.lower() in ("0", "off", "none", "no"):
+        return "off"
+    return setting or str(Path(__file__).resolve().parent /
+                          ".trace_cache")
+
+
 @pytest.fixture(scope="session")
 def harness() -> ExperimentHarness:
     """The shared experiment harness (session-wide caches)."""
@@ -49,6 +63,7 @@ def harness() -> ExperimentHarness:
     config = ExperimentConfig(
         requests=_env_int("REPRO_BENCH_REQUESTS", DEFAULT_REQUESTS),
         warmup=_env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP),
+        trace_cache_dir=_bench_trace_cache_dir(),
     )
     return ExperimentHarness(config, cache=_bench_cache())
 

@@ -19,8 +19,15 @@ Record schema (one per line)::
       "design": "Bumblebee", "workload": "mcf",
       "norm_ipc": 1.84, "norm_hbm_traffic": 1.2, ...
       "config": {"requests": 50000, "warmup": 30000, "seed": 1234,
-                  "scale": 0.03125}
+                  "scale": 0.03125},
+      "timing": {"gen_s": 0.21, "sim_s": 1.48, "trace_hits": 1, ...}
     }
+
+The ``timing`` block is observability only — the wall-time split
+between trace generation and simulation for the cell, plus the cell's
+trace-cache counter deltas, measured in whichever process computed it.
+It never participates in result comparisons (it differs run to run by
+nature) and older records without it still load.
 """
 
 from __future__ import annotations
@@ -120,6 +127,7 @@ class Campaign:
         def persist(design: str, workload: str,
                     comparison: WorkloadComparison) -> None:
             record = _comparison_record(comparison, self.harness)
+            record["timing"] = self.harness.cell_timing(design, workload)
             self._records[_cell_key(design, workload)] = record
             self._append(record)
 
@@ -138,6 +146,24 @@ class Campaign:
             handle.write(json.dumps(record) + "\n")
 
     # ---- views ----------------------------------------------------------
+
+    def timing_summary(self) -> dict[str, float]:
+        """Aggregate observability over every record carrying timing.
+
+        Returns totals of the per-cell ``timing`` blocks: cells counted,
+        generation vs simulation wall time, and trace-cache counter
+        deltas (hits / misses / generated / bytes).  Records persisted
+        by older versions (no timing block) are skipped.
+        """
+        totals: dict[str, float] = {"cells": 0, "gen_s": 0.0, "sim_s": 0.0}
+        for record in self._records.values():
+            timing = record.get("timing")
+            if not timing:
+                continue
+            totals["cells"] += 1
+            for name, value in timing.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def matrix(self, metric: str = "norm_ipc") -> dict[str, dict[str,
                                                                  float]]:

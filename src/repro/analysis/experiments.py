@@ -23,6 +23,7 @@ Benchmarks under ``benchmarks/`` are thin wrappers over these methods.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -48,7 +49,9 @@ from ..traces.spec import (
     SystemScale,
     synthetic_spec,
 )
+from ..traces.packed import PackedTrace
 from ..traces.synthetic import SyntheticTraceGenerator
+from ..traces.tracecache import TraceCache, resolve_trace_cache
 from .metrics import (
     GroupSummary,
     WorkloadComparison,
@@ -63,7 +66,15 @@ KIB = 1024
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Shared knobs of every experiment run."""
+    """Shared knobs of every experiment run.
+
+    ``trace_cache_dir`` selects the on-disk packed-trace cache (see
+    :func:`~repro.traces.tracecache.resolve_trace_cache` for the
+    accepted values); it cannot change any simulated result — the cache
+    stores byte-identical streams — so it is deliberately *excluded*
+    from result-cache keys, and it rides the frozen config into worker
+    processes so every ``--jobs`` worker shares one store.
+    """
 
     scale: SystemScale = DEFAULT_SCALE
     requests: int = 120_000
@@ -71,6 +82,7 @@ class ExperimentConfig:
     seed: int = 1234
     cpu: CpuModel = CpuModel()
     workloads: tuple[str, ...] = tuple(SPEC2017)
+    trace_cache_dir: str | None = None
 
 
 def fitted_devices(scale: SystemScale, page_bytes: int = 64 * KIB,
@@ -106,11 +118,15 @@ class ExperimentHarness:
                  cache: ResultCache | None = None) -> None:
         self.config = config or ExperimentConfig()
         self.cache = cache
+        self.trace_cache: TraceCache | None = resolve_trace_cache(
+            self.config.trace_cache_dir)
         self.hbm_config, self.dram_config = fitted_devices(self.config.scale)
         self.driver = SimulationDriver(self.config.cpu)
-        self._traces: dict[str, list] = {}
+        self.gen_seconds = 0.0
+        self._traces: dict[str, PackedTrace] = {}
         self._baselines: dict[str, SimResult] = {}
         self._comparisons: dict[tuple[str, str], WorkloadComparison] = {}
+        self._cell_timings: dict[tuple[str, str], dict[str, float]] = {}
 
     # ---- shared plumbing -------------------------------------------------
 
@@ -185,32 +201,118 @@ class ExperimentHarness:
             self.cache.put(self._comparison_key(design, workload), record)
         return comparison
 
-    def trace(self, workload: str) -> list:
-        """The workload's materialised miss stream (cached)."""
+    def _packed_trace(self, spec, n: int) -> PackedTrace:
+        """Generate (or load) one packed stream, charging gen time."""
+        start = time.perf_counter()
+        if self.trace_cache is not None:
+            packed = self.trace_cache.get_or_generate(spec, n,
+                                                      self.config.seed)
+        else:
+            packed = SyntheticTraceGenerator(
+                spec, seed=self.config.seed).generate_packed(n)
+        self.gen_seconds += time.perf_counter() - start
+        return packed
+
+    def trace(self, workload: str) -> PackedTrace:
+        """The workload's packed miss stream (cached).
+
+        Packed streams replay through the driver's zero-allocation fast
+        path and are bit-identical to the request lists earlier versions
+        materialised; with a trace cache configured they are synthesised
+        at most once *per machine*, not once per process.
+        """
         if workload not in self._traces:
-            generator = SyntheticTraceGenerator(
+            self._traces[workload] = self._packed_trace(
                 synthetic_spec(workload, self.config.scale),
-                seed=self.config.seed)
-            self._traces[workload] = generator.generate(
                 self.config.requests + self.config.warmup)
         return self._traces[workload]
 
+    def _baseline_key(self, workload: str) -> str:
+        """Cache key of one no-HBM baseline run."""
+        return ResultCache.key_for(
+            kind="baseline",
+            hbm=dataclasses.asdict(self.hbm_config),
+            dram=dataclasses.asdict(self.dram_config),
+            **self._key_fields(workload))
+
     def baseline(self, workload: str) -> SimResult:
-        """The no-HBM run every metric normalises against (cached)."""
+        """The no-HBM run every metric normalises against (cached).
+
+        With a persistent :class:`ResultCache` configured the full
+        :class:`SimResult` record is stored under a content-hash key, so
+        repeated sessions — and each of a campaign's worker processes —
+        load the baseline instead of re-simulating it.  Records
+        round-trip bit-identically (pinned by tests).
+        """
         if workload not in self._baselines:
+            key = (self._baseline_key(workload)
+                   if self.cache is not None else None)
+            if key is not None:
+                record = self.cache.get(key)
+                if record is not None:
+                    self._baselines[workload] = SimResult.from_record(
+                        record)
+                    return self._baselines[workload]
             controller = make_controller("No-HBM", self.hbm_config,
                                          self.dram_config)
-            self._baselines[workload] = self.driver.run(
+            result = self.driver.run(
                 controller, self.trace(workload), workload=workload,
                 warmup=self.config.warmup)
+            self._baselines[workload] = result
+            if key is not None:
+                self.cache.put(key, result.to_record())
         return self._baselines[workload]
+
+    def _timing_start(self) -> tuple:
+        """Snapshot wall clock, gen time, and trace-cache counters."""
+        counters = (self.trace_cache.counters()
+                    if self.trace_cache is not None else None)
+        return time.perf_counter(), self.gen_seconds, counters
+
+    def _record_timing(self, design: str, workload: str,
+                       snapshot: tuple) -> None:
+        """Store one cell's generation/simulation split and cache deltas."""
+        start, gen_before, counters_before = snapshot
+        elapsed = time.perf_counter() - start
+        gen_s = self.gen_seconds - gen_before
+        timing: dict[str, float] = {
+            "gen_s": gen_s, "sim_s": max(elapsed - gen_s, 0.0)}
+        after = (self.trace_cache.counters()
+                 if self.trace_cache is not None else None)
+        for name in ("hits", "misses", "generated", "bytes_read",
+                     "bytes_written"):
+            delta = (after[name] - counters_before[name]
+                     if after is not None and counters_before is not None
+                     else 0)
+            timing[f"trace_{name}"] = delta
+        self._cell_timings[(design, workload)] = timing
+
+    def cell_timing(self, design: str, workload: str) -> dict[str, float]:
+        """One cell's observability record: wall-time split between trace
+        generation (``gen_s``) and simulation (``sim_s``), plus the
+        cell's trace-cache counter deltas (``trace_hits`` etc.).  Cells
+        this harness has not timed report zeros."""
+        timing = self._cell_timings.get((design, workload))
+        if timing is None:
+            timing = {"gen_s": 0.0, "sim_s": 0.0}
+            timing.update({f"trace_{name}": 0
+                           for name in ("hits", "misses", "generated",
+                                        "bytes_read", "bytes_written")})
+        return dict(timing)
+
+    def adopt_timing(self, design: str, workload: str,
+                     timing: dict[str, float]) -> None:
+        """Adopt a cell timing measured elsewhere (a worker process)."""
+        self._cell_timings[(design, workload)] = dict(timing)
 
     def run_design(self, design: str, workload: str) -> WorkloadComparison:
         """Run one named design on one workload, normalised (cached:
         repeated figures share the same deterministic run, and the
         persistent cache — when configured — spans processes)."""
+        snapshot = self._timing_start()
         cached = self.cached_comparison(design, workload)
         if cached is not None:
+            self._record_timing(design, workload, snapshot)
             return cached
         controller = make_controller(
             design, self.hbm_config, self.dram_config,
@@ -223,6 +325,7 @@ class ExperimentHarness:
         if self.cache is not None:
             self.cache.put(self._comparison_key(design, workload),
                            dataclasses.asdict(comparison))
+        self._record_timing(design, workload, snapshot)
         return comparison
 
     def run_bumblebee(self, bumblebee_config: BumblebeeConfig,
@@ -234,12 +337,14 @@ class ExperimentHarness:
         """Run a custom Bumblebee configuration on one workload."""
         hbm = hbm_config or self.hbm_config
         dram = dram_config or self.dram_config
+        snapshot = self._timing_start()
         key = None
         if self.cache is not None:
             key = self._bumblebee_key(bumblebee_config, workload, name,
                                       hbm, dram)
             record = self.cache.get(key)
             if record is not None:
+                self._record_timing(name, workload, snapshot)
                 return WorkloadComparison(**record)
         controller = BumblebeeController(hbm, dram, bumblebee_config,
                                          name=name)
@@ -249,6 +354,7 @@ class ExperimentHarness:
         comparison = compare(result, self.baseline(workload))
         if key is not None:
             self.cache.put(key, dataclasses.asdict(comparison))
+        self._record_timing(name, workload, snapshot)
         return comparison
 
     # ---- Figure 1 ---------------------------------------------------------
@@ -275,11 +381,9 @@ class ExperimentHarness:
         n_requests = self.config.requests * requests_multiplier
         out: dict[str, dict[int, UtilisationResult]] = {}
         for workload in workloads:
-            generator = SyntheticTraceGenerator(
-                synthetic_spec(workload, fig1_scale),
-                seed=self.config.seed)
-            addresses = [r.addr
-                         for r in generator.generate(n_requests)]
+            packed = self._packed_trace(
+                synthetic_spec(workload, fig1_scale), n_requests)
+            addresses = [addr for addr, _, _ in packed.iter_decoded()]
             out[workload] = characterise(addresses, fig1_scale.hbm_bytes,
                                          sizes)
         return out

@@ -9,17 +9,23 @@ fan-out embarrassingly parallel *and* bit-identical to a serial run —
 the property the tests in ``tests/test_parallel.py`` pin down.
 
 Each worker process lazily builds one :class:`ExperimentHarness` per
-distinct config and keeps it for the life of the pool, so the expensive
-shared state (materialised traces, no-HBM baseline runs) is paid once
-per worker rather than once per cell.  Cells are handed out
+distinct (config, cache root) and keeps it for the life of the pool, so
+the expensive shared state (packed traces, no-HBM baseline runs) is
+paid once per worker rather than once per cell.  Cells are handed out
 workload-major so a worker's consecutive cells tend to share a trace
-and baseline.
+and baseline.  When the parent harness has a persistent
+:class:`~repro.analysis.resultcache.ResultCache`, its root travels with
+each task and the workers share it — cold workers load the stored
+no-HBM baseline records instead of re-simulating them; likewise a
+``trace_cache_dir`` on the config means every worker loads each packed
+stream from the shared on-disk trace cache instead of re-synthesising
+it.
 
-Workers return plain ``dataclasses.asdict`` dumps (cheap to pickle);
-the parent harness re-adopts them through
-:meth:`ExperimentHarness.absorb_comparison`, which also feeds the
-persistent :class:`~repro.analysis.resultcache.ResultCache` when one is
-configured.
+Workers return plain ``dataclasses.asdict`` dumps (cheap to pickle)
+plus the cell's timing record; the parent harness re-adopts them
+through :meth:`ExperimentHarness.absorb_comparison` /
+:meth:`ExperimentHarness.adopt_timing`, which also feed the persistent
+result cache when one is configured.
 """
 
 from __future__ import annotations
@@ -41,29 +47,40 @@ DesignCell = "tuple[str, str]"
 BumblebeeCell = "tuple[BumblebeeConfig, str, str, int | None]"
 
 # Per-process harness store: workers keep traces and baselines warm
-# across the cells they are handed (keyed by the frozen config, so one
-# pool can serve several harnesses).
-_WORKER_HARNESSES: dict[ExperimentConfig, ExperimentHarness] = {}
+# across the cells they are handed (keyed by the frozen config plus the
+# persistent cache root, so one pool can serve several harnesses).
+_WORKER_HARNESSES: dict[tuple, ExperimentHarness] = {}
 
 
-def _worker_harness(config: ExperimentConfig) -> ExperimentHarness:
-    harness = _WORKER_HARNESSES.get(config)
+def _worker_harness(config: ExperimentConfig,
+                    cache_root: "str | None") -> ExperimentHarness:
+    harness = _WORKER_HARNESSES.get((config, cache_root))
     if harness is None:
-        harness = _WORKER_HARNESSES[config] = ExperimentHarness(config)
+        from .resultcache import ResultCache
+        cache = ResultCache(cache_root) if cache_root is not None else None
+        harness = _WORKER_HARNESSES[(config, cache_root)] = \
+            ExperimentHarness(config, cache=cache)
     return harness
 
 
-def _design_cell(task: tuple) -> dict:
-    """Worker: simulate one named-design cell, return its record."""
-    config, design, workload = task
-    harness = _worker_harness(config)
-    return dataclasses.asdict(harness.run_design(design, workload))
+def _cache_root(harness: ExperimentHarness) -> "str | None":
+    """The parent's persistent-cache root, as shipped to workers."""
+    return str(harness.cache.root) if harness.cache is not None else None
 
 
-def _bumblebee_cell(task: tuple) -> dict:
-    """Worker: simulate one custom-Bumblebee cell, return its record."""
-    config, bconfig, workload, name, page_bytes = task
-    harness = _worker_harness(config)
+def _design_cell(task: tuple) -> tuple:
+    """Worker: simulate one named-design cell, return (record, timing)."""
+    config, cache_root, design, workload = task
+    harness = _worker_harness(config, cache_root)
+    record = dataclasses.asdict(harness.run_design(design, workload))
+    return record, harness.cell_timing(design, workload)
+
+
+def _bumblebee_cell(task: tuple) -> tuple:
+    """Worker: simulate one custom-Bumblebee cell, return
+    (record, timing)."""
+    config, cache_root, bconfig, workload, name, page_bytes = task
+    harness = _worker_harness(config, cache_root)
     if page_bytes is None:
         comparison = harness.run_bumblebee(bconfig, workload, name=name)
     else:
@@ -71,7 +88,8 @@ def _bumblebee_cell(task: tuple) -> dict:
         comparison = harness.run_bumblebee(bconfig, workload, name=name,
                                            hbm_config=hbm,
                                            dram_config=dram)
-    return dataclasses.asdict(comparison)
+    return dataclasses.asdict(comparison), harness.cell_timing(name,
+                                                               workload)
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -137,12 +155,15 @@ def run_design_cells(
             # Workload-major order: consecutive cells of one chunk share
             # a trace and baseline inside their worker.
             ordered = sorted(todo, key=lambda cell: (cell[1], cell[0]))
-            tasks = [(harness.config, design, workload)
+            cache_root = _cache_root(harness)
+            tasks = [(harness.config, cache_root, design, workload)
                      for design, workload in ordered]
-            records = _chunked_map(_design_cell, tasks, jobs)
-            for (design, workload), record in zip(ordered, records):
+            outcomes = _chunked_map(_design_cell, tasks, jobs)
+            for (design, workload), (record, timing) in zip(ordered,
+                                                            outcomes):
                 known[(design, workload)] = harness.absorb_comparison(
                     design, workload, record)
+                harness.adopt_timing(design, workload, timing)
     results = [known[cell] for cell in unique]
     if on_result is not None:
         for cell, comparison in zip(unique, results):
@@ -201,11 +222,14 @@ def run_bumblebee_cells(
         else:
             ordered = sorted(
                 todo, key=lambda cell: (cell[1], cell[2], cell[3] or 0))
-            tasks = [(harness.config, bconfig, workload, name, page_bytes)
+            cache_root = _cache_root(harness)
+            tasks = [(harness.config, cache_root, bconfig, workload, name,
+                      page_bytes)
                      for bconfig, workload, name, page_bytes in ordered]
-            records = _chunked_map(_bumblebee_cell, tasks, jobs)
-            for cell, record in zip(ordered, records):
+            outcomes = _chunked_map(_bumblebee_cell, tasks, jobs)
+            for cell, (record, timing) in zip(ordered, outcomes):
                 known[cell] = WorkloadComparison(**record)
+                harness.adopt_timing(cell[2], cell[1], timing)
                 if harness.cache is not None:
                     harness.cache.put(cache_key(cell), record)
     return [known[tuple(cell)] for cell in cells]

@@ -196,7 +196,18 @@ class HybridMemoryController(abc.ABC):
 
     @abc.abstractmethod
     def access(self, request: MemoryRequest, now_ns: float) -> AccessResult:
-        """Serve one LLC-miss request arriving at ``now_ns``."""
+        """Serve one LLC-miss request arriving at ``now_ns``.
+
+        Contract: implementations must read ``request`` during the call
+        and never retain a reference to it.  The driver's packed-trace
+        fast path replays an entire stream through **one** reused
+        mutable request object (see
+        :meth:`~repro.traces.packed.PackedTrace.replay`), so a stored
+        reference would silently mutate under the controller on the
+        next iteration.  Derive and store scalars (``request.line``,
+        ``request.addr``) instead — every in-tree controller already
+        does.
+        """
 
     def finish(self, now_ns: float) -> None:
         """Hook invoked once at end of simulation (drain dirty state)."""

@@ -69,13 +69,21 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
                         help="enable the persistent result cache; with no "
                              "DIR, uses $REPRO_CACHE_DIR or "
                              "~/.cache/repro-bumblebee")
+    parser.add_argument("--trace-cache", metavar="DIR", nargs="?",
+                        const="", default=None, dest="trace_cache",
+                        help="enable the on-disk packed-trace cache "
+                             "(shared by all --jobs workers); with no "
+                             "DIR, uses $REPRO_TRACE_CACHE or "
+                             "~/.cache/repro-bumblebee/traces; "
+                             "'off' disables it")
 
 
 def _harness(args: argparse.Namespace,
              workloads: Sequence[str] | None = None) -> ExperimentHarness:
     config = ExperimentConfig(
         requests=args.requests, warmup=args.warmup, seed=args.seed,
-        workloads=tuple(workloads) if workloads else tuple(SPEC2017))
+        workloads=tuple(workloads) if workloads else tuple(SPEC2017),
+        trace_cache_dir=getattr(args, "trace_cache", None))
     cache = None
     cache_dir = getattr(args, "cache", None)
     if cache_dir is not None:
@@ -162,7 +170,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     campaign = Campaign(harness, args.out)
     new_runs = campaign.run(args.designs, args.workloads, jobs=args.jobs)
     print(f"campaign: {campaign.completed_cells} cells complete "
-          f"({new_runs} new) -> {args.out}\n")
+          f"({new_runs} new) -> {args.out}")
+    timing = campaign.timing_summary()
+    if timing["cells"]:
+        line = (f"timing: gen {timing['gen_s']:.2f}s + "
+                f"sim {timing['sim_s']:.2f}s over "
+                f"{timing['cells']:.0f} timed cells")
+        if "trace_hits" in timing:
+            line += (f"; trace cache: {timing['trace_hits']:.0f} hits, "
+                     f"{timing['trace_misses']:.0f} misses, "
+                     f"{timing['trace_generated']:.0f} generated, "
+                     f"{timing.get('trace_bytes_read', 0):.0f}B read")
+        print(line)
+    print()
     print(campaign.render(args.metric))
     return 0
 

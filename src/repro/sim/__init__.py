@@ -4,7 +4,8 @@ from .cpu import CpuModel
 from .driver import SimResult, SimulationDriver
 from .engine import EventEngine, EventHandle
 from .fullstack import RawAccess, raw_access_stream, run_full_stack
-from .request import CACHE_LINE_BYTES, AccessResult, MemoryRequest, ServicedBy
+from .request import (CACHE_LINE_BYTES, AccessResult, MemoryRequest,
+                      MutableRequest, ServicedBy)
 from .stats import Histogram, StatGroup, geomean
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "run_full_stack",
     "AccessResult",
     "MemoryRequest",
+    "MutableRequest",
     "ServicedBy",
     "CACHE_LINE_BYTES",
     "Histogram",

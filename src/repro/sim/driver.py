@@ -11,10 +11,11 @@ traffic, per-device dynamic energy, and the controller's own statistics
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, TYPE_CHECKING
 
 from ..mem.energy import EnergyBreakdown
+from ..traces.packed import PackedTrace
 from .cpu import CpuModel
 from .request import AccessResult, MemoryRequest, ServicedBy
 from .stats import Histogram
@@ -86,18 +87,7 @@ class SimResult:
         """
         if self.latency_histogram is None:
             raise ValueError("run() did not collect a latency histogram")
-        if not 0.0 < percentile <= 100.0:
-            raise ValueError("percentile must be in (0, 100]")
-        hist = self.latency_histogram
-        target = percentile / 100.0 * hist.total
-        cumulative = 0
-        for index, count in enumerate(hist.counts):
-            cumulative += count
-            if cumulative >= target:
-                if index < len(hist.bounds):
-                    return hist.bounds[index]
-                return float("inf")
-        return float("inf")
+        return self.latency_histogram.percentile(percentile)
 
     @property
     def metadata_latency_fraction(self) -> float:
@@ -117,6 +107,33 @@ class SimResult:
     @property
     def dynamic_energy_pj(self) -> float:
         return self.hbm_energy.dynamic_pj + self.dram_energy.dynamic_pj
+
+    def to_record(self) -> dict:
+        """JSON-ready dump of the result (plain dicts and scalars).
+
+        JSON round-trips Python ints and floats exactly (shortest
+        round-trip repr), so :meth:`from_record` rebuilds a result that
+        compares equal to the original — the property the persistent
+        baseline cache in :mod:`repro.analysis.experiments` relies on.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SimResult":
+        """Rebuild a result from a :meth:`to_record` dump.
+
+        Raises:
+            TypeError: for a record whose shape does not match (a dump
+                from an incompatible version).
+        """
+        data = dict(record)
+        data["hbm_energy"] = EnergyBreakdown(**data["hbm_energy"])
+        data["dram_energy"] = EnergyBreakdown(**data["dram_energy"])
+        data["cpu"] = CpuModel(**data["cpu"])
+        histogram = data.get("latency_histogram")
+        if histogram is not None:
+            data["latency_histogram"] = Histogram(**histogram)
+        return cls(**data)
 
     def normalised_ipc(self, baseline: "SimResult") -> float:
         return self.ipc / baseline.ipc
@@ -155,7 +172,12 @@ class SimulationDriver:
             controller: Any object implementing the
                 :class:`~repro.baselines.base.HybridMemoryController`
                 protocol.
-            trace: Iterable of :class:`MemoryRequest`.
+            trace: Iterable of :class:`MemoryRequest`, or a
+                :class:`~repro.traces.packed.PackedTrace`, which takes
+                the zero-allocation fast path: each packed integer is
+                decoded into one reused mutable request instead of
+                constructing a fresh object per miss.  Results are
+                bit-identical between the two paths (pinned by tests).
             workload: Label recorded in the result.
             max_requests: Optional cap on the number of requests consumed
                 (measured requests, after warm-up).
@@ -176,7 +198,12 @@ class SimulationDriver:
         # experiment's wall time.  All attribute lookups are hoisted to
         # locals, the analytic CPU model is inlined (same arithmetic as
         # CpuModel.compute_ns/stall_ns, term for term), and the histogram
-        # insert is a single bisect on a local counts list.
+        # insert is a single bisect on a local counts list.  Packed
+        # traces replay through one reused mutable request — the
+        # controllers only ever read request fields, so the loop body is
+        # identical either way.
+        if isinstance(trace, PackedTrace):
+            trace = trace.replay()
         cpu = self.cpu
         retire_rate = cpu.ipc_peak * cpu.cores
         freq_ghz = cpu.freq_ghz

@@ -44,6 +44,39 @@ class MemoryRequest:
         return self.addr // CACHE_LINE_BYTES
 
 
+class MutableRequest:
+    """A reusable request for the packed-replay fast path.
+
+    Presents the exact attribute interface of :class:`MemoryRequest`
+    (``addr``, ``is_write``, ``icount``, ``size``, ``line``) but is
+    mutated in place by :meth:`~repro.traces.packed.PackedTrace.replay`
+    so one object serves millions of requests with zero per-request
+    allocation.  Controllers may read its fields during ``access`` but
+    must never retain a reference across requests — every design in
+    this repository only reads attribute values.
+    """
+
+    __slots__ = ("addr", "is_write", "icount", "size")
+
+    def __init__(self, addr: int = 0, is_write: bool = False,
+                 icount: int = 100,
+                 size: int = CACHE_LINE_BYTES) -> None:
+        self.addr = addr
+        self.is_write = is_write
+        self.icount = icount
+        self.size = size
+
+    @property
+    def line(self) -> int:
+        """Cache-line index of :attr:`addr`."""
+        return self.addr // CACHE_LINE_BYTES
+
+    def freeze(self) -> MemoryRequest:
+        """An immutable snapshot of the current field values."""
+        return MemoryRequest(addr=self.addr, is_write=self.is_write,
+                             icount=self.icount, size=self.size)
+
+
 @dataclass(frozen=True, slots=True)
 class AccessResult:
     """The controller's answer to one request.

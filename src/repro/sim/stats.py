@@ -6,9 +6,10 @@ gem5's stats package but flat and pickle-friendly.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
+from itertools import accumulate
 
 
 class StatGroup:
@@ -66,6 +67,11 @@ class Histogram:
             raise ValueError("histogram bounds must be ascending")
         if not self.counts:
             self.counts = [0] * (len(self.bounds) + 1)
+        # Cumulative-count cache for percentile(); a plain attribute
+        # (not a dataclass field) so equality, repr, and asdict dumps
+        # are unaffected.  Rebuilt whenever its grand total no longer
+        # matches self.total (i.e. after add()).
+        self._cumulative: list[int] | None = None
 
     def add(self, sample: float, weight: int = 1) -> None:
         """Record ``sample`` with multiplicity ``weight``."""
@@ -73,6 +79,28 @@ class Histogram:
         # sample — exactly the linear scan's bucket, without the scan.
         self.counts[bisect_right(self.bounds, sample)] += weight
         self.total += weight
+        self._cumulative = None
+
+    def percentile(self, percentile: float) -> float:
+        """Upper bound of the bucket containing ``percentile``.
+
+        The overflow bucket reports ``inf``.  Cumulative counts are
+        precomputed once and reused across calls (a bisect per call
+        instead of an O(buckets) scan).
+
+        Raises:
+            ValueError: when ``percentile`` is outside (0, 100].
+        """
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        cumulative = self._cumulative
+        if cumulative is None or cumulative[-1] != self.total:
+            cumulative = self._cumulative = list(accumulate(self.counts))
+        target = percentile / 100.0 * self.total
+        index = bisect_left(cumulative, target)
+        if index < len(self.bounds):
+            return self.bounds[index]
+        return float("inf")
 
     def fractions(self) -> list[float]:
         """Per-bucket fractions of the total (zeros when empty)."""

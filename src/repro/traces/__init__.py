@@ -11,10 +11,17 @@ from .spec import (
     workload_trace,
 )
 from .importers import (
+    import_packed_trace,
     import_trace,
     read_csv_trace,
     read_gem5_trace,
     read_pin_trace,
+)
+from .packed import PackedTrace, pack_trace
+from .tracecache import (
+    TraceCache,
+    default_trace_cache_dir,
+    resolve_trace_cache,
 )
 from .phases import (
     QUADRANTS,
@@ -67,9 +74,15 @@ __all__ = [
     "markov_phases",
     "windowed_hit_rates",
     "import_trace",
+    "import_packed_trace",
     "read_csv_trace",
     "read_gem5_trace",
     "read_pin_trace",
+    "PackedTrace",
+    "pack_trace",
+    "TraceCache",
+    "default_trace_cache_dir",
+    "resolve_trace_cache",
     "TraceSummary",
     "interleave",
     "load_trace",

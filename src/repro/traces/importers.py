@@ -153,3 +153,21 @@ def import_trace(path: str | Path, fmt: str = "csv",
                          f"supported: {sorted(_READERS)}") from None
     with open(path) as fh:
         yield from reader(fh, default_icount=default_icount)
+
+
+def import_packed_trace(path: str | Path, fmt: str = "csv",
+                        default_icount: int = 100):
+    """Import an external trace directly into packed form.
+
+    Packs the stream as it parses (~9 bytes/request held, no request
+    objects kept), ready for the driver's zero-allocation replay path.
+
+    Raises:
+        ValueError: for an unknown format, malformed content, or
+            records the packed layout cannot represent (unaligned
+            addresses, oversized icount) — import with
+            :func:`import_trace` instead in that case.
+    """
+    from .packed import PackedTrace
+    return PackedTrace.from_requests(
+        import_trace(path, fmt=fmt, default_icount=default_icount))

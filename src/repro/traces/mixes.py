@@ -123,14 +123,27 @@ def mix_trace(members: Sequence[MixMember], n_requests: int,
 
 def preset_mix_trace(name: str, n_requests: int,
                      scale: SystemScale = DEFAULT_SCALE,
-                     seed: int = 1234) -> list[MemoryRequest]:
+                     seed: int = 1234, packed: bool = False):
     """Materialise one of the canonical :data:`MIX_PRESETS`.
+
+    Args:
+        name: Preset key in :data:`MIX_PRESETS`.
+        n_requests: Merged stream length.
+        scale: System scale used for footprints.
+        seed: Base seed (each member derives its own stream).
+        packed: Return a :class:`~repro.traces.packed.PackedTrace`
+            (8 bytes/request, replayable through the driver's
+            zero-allocation fast path) instead of a request list.
 
     Raises:
         KeyError: for an unknown preset name.
     """
     members = build_mix(MIX_PRESETS[name], scale)
-    return list(mix_trace(members, n_requests, seed=seed))
+    stream = mix_trace(members, n_requests, seed=seed)
+    if packed:
+        from .packed import PackedTrace
+        return PackedTrace.from_requests(stream)
+    return list(stream)
 
 
 def member_share(members: Sequence[MixMember],

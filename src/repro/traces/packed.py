@@ -1,0 +1,193 @@
+"""Packed miss streams: one 64-bit integer per request.
+
+Every experiment replays the *same* deterministic miss streams against
+many designs, so the per-request cost of materialising a trace — one
+:class:`~repro.sim.request.MemoryRequest` object per miss — dominates
+campaign wall time alongside the controller loop.  A
+:class:`PackedTrace` stores the whole stream as a flat ``array('Q')``:
+
+* bit 0         — the write flag;
+* bits 1..24    — the instruction-count gap (up to ~16.7M);
+* bits 25..63   — the cache-line index (39 bits, 32TB of address space).
+
+The packed form is ~56 bytes/request cheaper than objects, pickles and
+persists as raw bytes (see :mod:`repro.traces.tracecache`), and feeds
+:meth:`~repro.sim.driver.SimulationDriver.run`'s zero-allocation fast
+path, which decodes the integers into one reused
+:class:`~repro.sim.request.MutableRequest` instead of constructing a
+fresh object per miss.  Iterating a :class:`PackedTrace` the ordinary
+way still yields immutable :class:`MemoryRequest` objects, so every
+existing consumer (``summarise``, ``save_trace``, custom loops) keeps
+working unchanged.
+
+Only line-aligned, line-sized requests whose fields fit the bit budget
+are representable; :func:`pack_trace` raises ``ValueError`` otherwise,
+and callers fall back to the object path.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Iterable, Iterator
+
+from ..sim.request import CACHE_LINE_BYTES, MemoryRequest, MutableRequest
+
+#: Bit layout of one packed request (also the on-disk format version).
+PACKED_FORMAT_VERSION = 1
+ICOUNT_BITS = 24
+ICOUNT_MAX = (1 << ICOUNT_BITS) - 1
+LINE_SHIFT = ICOUNT_BITS + 1
+LINE_MAX = (1 << (64 - LINE_SHIFT)) - 1
+
+
+def encode_request(addr: int, is_write: bool, icount: int) -> int:
+    """Pack one request into its 64-bit integer.
+
+    Raises:
+        ValueError: when the request is not representable (unaligned
+            address, negative fields, or a field exceeding its bit
+            budget).
+    """
+    if addr % CACHE_LINE_BYTES:
+        raise ValueError(f"address {addr:#x} is not cache-line aligned")
+    line = addr // CACHE_LINE_BYTES
+    if not 0 <= line <= LINE_MAX:
+        raise ValueError(f"line {line} outside the {LINE_MAX.bit_length()}"
+                         f"-bit packed budget")
+    if not 0 <= icount <= ICOUNT_MAX:
+        raise ValueError(f"icount {icount} outside the {ICOUNT_BITS}-bit "
+                         f"packed budget")
+    return (line << LINE_SHIFT) | (icount << 1) | bool(is_write)
+
+
+def decode_value(value: int) -> tuple[int, bool, int]:
+    """Unpack one 64-bit integer into ``(addr, is_write, icount)``."""
+    return ((value >> LINE_SHIFT) * CACHE_LINE_BYTES,
+            bool(value & 1),
+            (value >> 1) & ICOUNT_MAX)
+
+
+class PackedTrace:
+    """A miss stream stored as one unsigned 64-bit integer per request.
+
+    Iterating yields fresh immutable :class:`MemoryRequest` objects
+    (drop-in for any existing trace consumer); :meth:`replay` yields one
+    *reused* :class:`MutableRequest` for the driver's zero-allocation
+    fast path.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: array | None = None) -> None:
+        if data is not None and data.typecode != "Q":
+            raise ValueError("PackedTrace needs an array('Q')")
+        self.data = data if data is not None else array("Q")
+
+    # ---- construction ---------------------------------------------------
+
+    @classmethod
+    def from_requests(cls, requests: Iterable[MemoryRequest]
+                      ) -> "PackedTrace":
+        """Pack an iterable of requests.
+
+        Raises:
+            ValueError: when any request is not representable (unaligned
+                address, non-line size, or field overflow).
+        """
+        data = array("Q")
+        append = data.append
+        for request in requests:
+            if request.size != CACHE_LINE_BYTES:
+                raise ValueError(
+                    f"packed traces hold line-sized requests only, "
+                    f"got size={request.size}")
+            append(encode_request(request.addr, request.is_write,
+                                  request.icount))
+        return cls(data)
+
+    @classmethod
+    def frombytes(cls, raw: bytes) -> "PackedTrace":
+        """Rebuild a trace from :meth:`tobytes` output (little-endian)."""
+        data = array("Q")
+        data.frombytes(raw)
+        if sys.byteorder != "little":
+            data.byteswap()
+        return cls(data)
+
+    def tobytes(self) -> bytes:
+        """The raw little-endian payload (persisted by the trace cache)."""
+        if sys.byteorder != "little":
+            swapped = array("Q", self.data)
+            swapped.byteswap()
+            return swapped.tobytes()
+        return self.data.tobytes()
+
+    # ---- consumption ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the packed payload in bytes."""
+        return len(self.data) * self.data.itemsize
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        icount_mask = ICOUNT_MAX
+        line_bytes = CACHE_LINE_BYTES
+        shift = LINE_SHIFT
+        for value in self.data:
+            yield MemoryRequest(addr=(value >> shift) * line_bytes,
+                                is_write=bool(value & 1),
+                                icount=(value >> 1) & icount_mask)
+
+    def iter_decoded(self) -> Iterator[tuple[int, bool, int]]:
+        """Yield ``(addr, is_write, icount)`` tuples (no objects built)."""
+        icount_mask = ICOUNT_MAX
+        line_bytes = CACHE_LINE_BYTES
+        shift = LINE_SHIFT
+        for value in self.data:
+            yield ((value >> shift) * line_bytes, bool(value & 1),
+                   (value >> 1) & icount_mask)
+
+    def replay(self) -> Iterator[MutableRequest]:
+        """Yield one reused :class:`MutableRequest`, mutated per record.
+
+        Zero allocations per request: consumers must read the fields
+        before advancing and must never retain the yielded object (every
+        controller in :mod:`repro.baselines` and :mod:`repro.core` only
+        reads attribute values).
+        """
+        request = MutableRequest()
+        icount_mask = ICOUNT_MAX
+        line_bytes = CACHE_LINE_BYTES
+        shift = LINE_SHIFT
+        for value in self.data:
+            request.addr = (value >> shift) * line_bytes
+            request.is_write = bool(value & 1)
+            request.icount = (value >> 1) & icount_mask
+            yield request
+
+    def to_requests(self) -> list[MemoryRequest]:
+        """Materialise the stream as immutable request objects."""
+        return list(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedTrace):
+            return NotImplemented
+        return self.data == other.data
+
+    def __repr__(self) -> str:
+        return (f"PackedTrace({len(self.data)} requests, "
+                f"{self.nbytes} bytes)")
+
+
+def pack_trace(requests: Iterable[MemoryRequest]) -> PackedTrace:
+    """Pack any iterable of requests into a :class:`PackedTrace`.
+
+    Raises:
+        ValueError: when a request is not representable in the packed
+            layout (keep the object path for such traces).
+    """
+    return PackedTrace.from_requests(requests)

@@ -22,6 +22,7 @@ so data placed during one phase is exactly the data the next phase finds
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -68,13 +69,19 @@ class PhaseSchedule:
         return self.cycles * sum(p.requests for p in self.phases)
 
     def generate(self) -> Iterator[MemoryRequest]:
-        """Emit the full schedule as one request stream."""
+        """Emit the full schedule as one lazy request stream.
+
+        Phases stream through :func:`itertools.islice` (constant
+        memory) — a long schedule never materialises a whole phase of
+        request objects at once.
+        """
         instance = 0
         for _ in range(self.cycles):
             for phase in self.phases:
                 generator = SyntheticTraceGenerator(
                     phase.spec, seed=self.seed + instance)
-                yield from generator.generate(phase.requests)
+                yield from itertools.islice(iter(generator),
+                                            phase.requests)
                 instance += 1
 
     def boundaries(self) -> list[int]:

@@ -21,12 +21,16 @@ derived from the two knobs.  All randomness flows from one seeded
 
 from __future__ import annotations
 
+import itertools
 import random
 import zlib
 from dataclasses import dataclass
 from typing import Iterator
 
+from array import array
+
 from ..sim.request import CACHE_LINE_BYTES, MemoryRequest
+from .packed import ICOUNT_MAX, LINE_MAX, LINE_SHIFT, PackedTrace
 
 
 @dataclass(frozen=True)
@@ -195,11 +199,42 @@ class SyntheticTraceGenerator:
 
     def generate(self, n: int) -> list[MemoryRequest]:
         """Materialise ``n`` requests."""
-        out: list[MemoryRequest] = []
-        iterator = iter(self)
-        for _ in range(n):
-            out.append(next(iterator))
-        return out
+        return list(itertools.islice(iter(self), n))
+
+    def generate_packed(self, n: int) -> PackedTrace:
+        """Materialise ``n`` requests in packed form, no objects built.
+
+        Consumes the RNG in exactly the order of :meth:`__iter__`
+        (address draw, then write draw), so the packed stream decodes to
+        the byte-identical ``(addr, is_write, icount)`` sequence the
+        object path yields for the same seed.
+
+        Raises:
+            ValueError: when the spec is not representable in the packed
+                layout (address or icount beyond the bit budget); use
+                :meth:`generate` for such traces.
+        """
+        spec = self.spec
+        icount = spec.icount_per_miss
+        top_addr = spec.base_addr + spec.footprint_lines * CACHE_LINE_BYTES
+        if spec.base_addr % CACHE_LINE_BYTES or \
+                top_addr > (LINE_MAX + 1) * CACHE_LINE_BYTES:
+            raise ValueError(f"spec {spec.name!r} addresses do not fit "
+                             "the packed layout")
+        if icount > ICOUNT_MAX:
+            raise ValueError(f"icount {icount} exceeds the packed budget")
+        rng_random = self._rng.random
+        next_line = self._next_line
+        write_fraction = spec.write_fraction
+        base_line = spec.base_addr // CACHE_LINE_BYTES
+        icount_bits = icount << 1
+        shift = LINE_SHIFT
+        data = array("Q", bytes(8 * n))
+        for index in range(n):
+            line = base_line + next_line()
+            data[index] = ((line << shift) | icount_bits
+                           | (rng_random() < write_fraction))
+        return PackedTrace(data)
 
 
 def phase_shift_trace(spec_a: SyntheticSpec, spec_b: SyntheticSpec,
@@ -208,9 +243,11 @@ def phase_shift_trace(spec_a: SyntheticSpec, spec_b: SyntheticSpec,
     """Alternate between two workload behaviours (phase-change stress).
 
     Exercises Bumblebee's claim that the cHBM:mHBM ratio adapts *at
-    runtime* — each phase flips the dominant locality pattern.
+    runtime* — each phase flips the dominant locality pattern.  Phases
+    stream lazily (constant memory): nothing is materialised, so long
+    phase-change runs never hold a whole phase of request objects.
     """
     for phase in range(phases):
         spec = spec_a if phase % 2 == 0 else spec_b
         generator = SyntheticTraceGenerator(spec, seed=seed + phase)
-        yield from generator.generate(n_per_phase)
+        yield from itertools.islice(iter(generator), n_per_phase)

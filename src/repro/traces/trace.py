@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..sim.request import CACHE_LINE_BYTES, MemoryRequest
+from .packed import PackedTrace
 
 
 def take(trace: Iterable[MemoryRequest], n: int) -> list[MemoryRequest]:
@@ -74,12 +75,33 @@ class TraceSummary:
 
 
 def summarise(trace: Iterable[MemoryRequest]) -> TraceSummary:
-    """Single-pass summary of a trace."""
+    """Single-pass summary of a trace.
+
+    Packed traces are summarised from their decoded integer stream
+    (no request objects are built).
+    """
     lines: set[int] = set()
     requests = 0
     instructions = 0
     writes = 0
     max_addr = 0
+    if isinstance(trace, PackedTrace):
+        add_line = lines.add
+        for addr, is_write, icount in trace.iter_decoded():
+            requests += 1
+            instructions += icount
+            if is_write:
+                writes += 1
+            add_line(addr // CACHE_LINE_BYTES)
+            if addr > max_addr:
+                max_addr = addr
+        return TraceSummary(
+            requests=requests,
+            instructions=instructions,
+            distinct_lines=len(lines),
+            write_fraction=writes / requests if requests else 0.0,
+            max_addr=max_addr,
+        )
     for request in trace:
         requests += 1
         instructions += request.icount

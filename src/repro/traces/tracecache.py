@@ -1,0 +1,223 @@
+"""Persistent, content-addressed cache of packed miss streams.
+
+A synthetic trace is a pure function of ``(spec, n, seed)`` — the same
+discipline :mod:`repro.analysis.resultcache` exploits for result
+records.  The :class:`TraceCache` applies it to the traces themselves:
+each ``(spec, n, seed)`` stream is generated **once**, persisted in
+packed form under a SHA-256 content-hash key, and every later consumer —
+including each of the ``--jobs`` worker processes of a campaign — loads
+the stored bytes instead of re-synthesising the stream, so a campaign
+materialises each workload once instead of ``designs x jobs`` times.
+
+Entry format (one file per trace, ``<key>.trace``): a single JSON header
+line carrying the payload digest, request count, and packed-format
+version, followed by the raw little-endian ``array('Q')`` payload.
+Writes are atomic (temp file + ``os.replace``); a corrupted or truncated
+entry fails its digest check, is deleted, and is transparently
+regenerated — the same self-healing contract as the result cache.
+
+The cache root resolves from (in order) an explicit path, the
+``$REPRO_TRACE_CACHE`` environment variable, or
+``~/.cache/repro-bumblebee/traces``.  Setting ``REPRO_TRACE_CACHE`` to
+``0``/``off``/``none`` disables caching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .packed import PACKED_FORMAT_VERSION, PackedTrace
+from .synthetic import SyntheticSpec, SyntheticTraceGenerator
+
+#: Environment variable holding the cache root (or an off switch).
+TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
+
+_OFF_VALUES = ("0", "off", "none", "no")
+
+
+def default_trace_cache_dir() -> Path:
+    """The trace-cache root used when none is given.
+
+    ``$REPRO_TRACE_CACHE`` wins when set to a path; otherwise
+    ``~/.cache/repro-bumblebee/traces``.
+    """
+    env = os.environ.get(TRACE_CACHE_ENV)
+    if env and env.lower() not in _OFF_VALUES:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-bumblebee" / "traces"
+
+
+def resolve_trace_cache(setting: str | None) -> "TraceCache | None":
+    """Build the trace cache a configuration asks for, or None.
+
+    Args:
+        setting: ``None`` defers to ``$REPRO_TRACE_CACHE`` (unset or an
+            off-value disables caching); an off-value (``"0"``,
+            ``"off"``, ``"none"``, ``"no"``) disables explicitly; ``""``
+            enables at the default root; any other string is the root
+            directory.
+    """
+    if setting is None:
+        env = os.environ.get(TRACE_CACHE_ENV)
+        if not env or env.lower() in _OFF_VALUES:
+            return None
+        return TraceCache(env)
+    if setting.lower() in _OFF_VALUES:
+        return None
+    return TraceCache(setting or None)
+
+
+class TraceCache:
+    """On-disk store of packed traces keyed by input content hash.
+
+    Args:
+        root: Directory holding the entries (created lazily).  Defaults
+            to :func:`default_trace_cache_dir`.
+
+    Attributes:
+        hits: Lookups served from disk.
+        misses: Lookups that found no usable entry.
+        generated: Traces synthesised (and stored) by this instance.
+        bytes_read: Packed payload bytes loaded from disk.
+        bytes_written: Packed payload bytes persisted to disk.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = (Path(root) if root is not None
+                     else default_trace_cache_dir())
+        self.hits = 0
+        self.misses = 0
+        self.generated = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # ---- keying ---------------------------------------------------------
+
+    @staticmethod
+    def key_for(spec: SyntheticSpec, n: int, seed: int) -> str:
+        """Content-hash key of one ``(spec, n, seed)`` miss stream.
+
+        The key covers every input that shapes the stream plus the
+        packed-format version, so a generator or layout change can never
+        resurface a stale trace — old entries are simply never looked up
+        again.
+        """
+        fields = {
+            "spec": dataclasses.asdict(spec),
+            "n": n,
+            "seed": seed,
+            "format": PACKED_FORMAT_VERSION,
+        }
+        canonical = json.dumps(fields, sort_keys=True,
+                               separators=(",", ":"), default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.trace"
+
+    # ---- lookup / store -------------------------------------------------
+
+    def get(self, spec: SyntheticSpec, n: int, seed: int
+            ) -> PackedTrace | None:
+        """The stored stream, or None.
+
+        A malformed header, digest mismatch, or wrong request count
+        (corruption, truncation, manual edits) deletes the entry and
+        reports a miss so the caller regenerates and heals the cache.
+        """
+        path = self._path(self.key_for(spec, n, seed))
+        try:
+            with open(path, "rb") as handle:
+                header = json.loads(handle.readline())
+                payload = handle.read()
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != header["digest"] or header["count"] * 8 != \
+                    len(payload):
+                raise ValueError("trace digest/count mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.bytes_read += len(payload)
+        return PackedTrace.frombytes(payload)
+
+    def put(self, spec: SyntheticSpec, n: int, seed: int,
+            trace: PackedTrace) -> None:
+        """Persist a packed stream atomically under its content key."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = trace.tobytes()
+        header = json.dumps({
+            "digest": hashlib.sha256(payload).hexdigest(),
+            "count": len(trace),
+            "format": PACKED_FORMAT_VERSION,
+        })
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(header.encode("utf-8") + b"\n")
+                handle.write(payload)
+            os.replace(tmp, self._path(self.key_for(spec, n, seed)))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.bytes_written += len(payload)
+
+    def get_or_generate(self, spec: SyntheticSpec, n: int,
+                        seed: int) -> PackedTrace:
+        """The cached stream, or generate, store, and return it.
+
+        Concurrent workers racing on a cold entry each generate the
+        identical stream and write it atomically — last writer wins with
+        byte-identical content, and no reader ever sees a partial file.
+        """
+        trace = self.get(spec, n, seed)
+        if trace is None:
+            trace = SyntheticTraceGenerator(spec, seed=seed) \
+                .generate_packed(n)
+            self.put(spec, n, seed, trace)
+            self.generated += 1
+        return trace
+
+    # ---- observability / maintenance ------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """A plain-dict snapshot of the observability counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "generated": self.generated,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.trace"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.trace"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -184,7 +184,10 @@ class TestCampaignJsonl:
                      ["Banshee", "Bumblebee"], ["leela", "mcf"], jobs=2)
 
         def records(path):
-            return sorted((json.loads(l)
+            # The timing block is observability, not a result — it
+            # legitimately differs between runs and is stripped here.
+            return sorted(({k: v for k, v in json.loads(l).items()
+                            if k != "timing"}
                            for l in path.read_text().splitlines()),
                           key=lambda r: (r["design"], r["workload"]))
 

@@ -120,6 +120,57 @@ class TestHistogram:
         assert len(hist.labels()) == 3
 
 
+class TestHistogramPercentile:
+    def test_reports_bucket_upper_bound(self):
+        hist = Histogram(bounds=[10.0, 20.0, 30.0])
+        for sample in (5, 15, 15, 25):
+            hist.add(sample)
+        assert hist.percentile(25.0) == 10.0
+        assert hist.percentile(50.0) == 20.0
+        assert hist.percentile(75.0) == 20.0
+        assert hist.percentile(100.0) == 30.0
+
+    def test_overflow_bucket_reports_inf(self):
+        hist = Histogram(bounds=[10.0])
+        hist.add(5)
+        hist.add(999)
+        assert hist.percentile(50.0) == 10.0
+        assert hist.percentile(100.0) == float("inf")
+
+    def test_matches_linear_rescan(self):
+        # The precomputed-cumulative fast path must agree with the
+        # O(buckets) definition it replaced, bucket for bucket.
+        hist = Histogram(bounds=[1.0, 2.0, 4.0, 8.0, 16.0])
+        for sample, weight in ((0.5, 3), (1.5, 1), (3.0, 7), (20.0, 2)):
+            hist.add(sample, weight=weight)
+
+        def rescan(percentile):
+            target = percentile / 100.0 * hist.total
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                if cumulative >= target:
+                    return bound
+            return float("inf")
+
+        for pct in (1, 10, 23, 50, 77, 90, 99, 100):
+            assert hist.percentile(pct) == rescan(pct)
+
+    def test_cache_invalidated_by_add(self):
+        hist = Histogram(bounds=[10.0])
+        hist.add(5)
+        assert hist.percentile(100.0) == 10.0
+        hist.add(50, weight=10)        # overflow now dominates
+        assert hist.percentile(100.0) == float("inf")
+
+    def test_rejects_out_of_range(self):
+        hist = Histogram(bounds=[10.0])
+        hist.add(1)
+        for bad in (0.0, -1.0, 100.5):
+            with pytest.raises(ValueError):
+                hist.percentile(bad)
+
+
 class TestGeomean:
     def test_value(self):
         assert geomean([1.0, 4.0]) == pytest.approx(2.0)
