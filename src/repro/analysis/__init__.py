@@ -46,6 +46,14 @@ from .validation import (
     check_overfetch,
     render_report,
 )
+from .differential import (
+    SANITIZE_DESIGNS,
+    DiffCase,
+    DifferentialReport,
+    diff_results,
+    load_reproducer,
+    run_differential,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -94,4 +102,10 @@ __all__ = [
     "resolve_jobs",
     "run_design_cells",
     "run_bumblebee_cells",
+    "SANITIZE_DESIGNS",
+    "DiffCase",
+    "DifferentialReport",
+    "diff_results",
+    "load_reproducer",
+    "run_differential",
 ]

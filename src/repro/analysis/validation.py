@@ -4,109 +4,191 @@ Every figure in the paper implies qualitative *shape* claims (who wins,
 where, by roughly what factor).  This module encodes those claims as
 checkable predicates over harness outputs and renders a pass/fail report
 — the machine-readable core of EXPERIMENTS.md.
+
+A campaign may run any subset of designs; claims whose designs are
+absent are reported as skipped (never a crash, never a spurious MISS).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Mapping, Sequence
 
 from .metrics import GroupSummary
 
 
 @dataclass(frozen=True)
 class ShapeCheck:
-    """One qualitative claim derived from the paper."""
+    """One qualitative claim derived from the paper.
+
+    ``skipped`` marks a claim whose inputs were not measured (e.g. a
+    campaign over a subset of designs); a skipped check neither passes
+    nor fails validation.
+    """
 
     artefact: str
     claim: str
     passed: bool
     measured: str
+    skipped: bool = False
+
+    @classmethod
+    def skip(cls, artefact: str, claim: str,
+             missing: Sequence[str]) -> "ShapeCheck":
+        """A skipped claim, recording which designs were absent."""
+        return cls(artefact, claim, passed=False, skipped=True,
+                   measured="not measured: campaign lacks "
+                            + ", ".join(sorted(missing)))
 
     def render(self) -> str:
-        status = "PASS" if self.passed else "MISS"
+        status = ("SKIP" if self.skipped
+                  else "PASS" if self.passed else "MISS")
         return f"[{status}] {self.artefact}: {self.claim} ({self.measured})"
+
+
+def _missing(results: Mapping[str, object],
+             needed: Sequence[str]) -> list[str]:
+    return [name for name in needed if name not in results]
 
 
 def check_figure8(results: Mapping[str, Mapping[str, GroupSummary]]
                   ) -> list[ShapeCheck]:
-    """Shape claims of Figures 8(a)-(d)."""
+    """Shape claims of Figures 8(a)-(d).
+
+    Claims whose designs the campaign did not run are skipped.
+    """
     checks: list[ShapeCheck] = []
-    bee = results["Bumblebee"]
 
-    best_other = max(
-        (name for name in results if name != "Bumblebee"),
-        key=lambda name: results[name]["all"].norm_ipc)
-    margin = bee["all"].norm_ipc / results[best_other]["all"].norm_ipc
-    checks.append(ShapeCheck(
-        "Fig8a", "Bumblebee has the best overall normalised IPC",
-        margin >= 0.98,
-        f"{bee['all'].norm_ipc:.2f} vs {best_other} "
-        f"{results[best_other]['all'].norm_ipc:.2f}"))
+    claim = "Bumblebee has the best overall normalised IPC"
+    others = [name for name in results if name != "Bumblebee"]
+    if _missing(results, ["Bumblebee"]) or not others:
+        checks.append(ShapeCheck.skip(
+            "Fig8a", claim,
+            _missing(results, ["Bumblebee"]) or ["a second design"]))
+    else:
+        bee = results["Bumblebee"]
+        best_other = max(
+            others, key=lambda name: results[name]["all"].norm_ipc)
+        margin = bee["all"].norm_ipc / results[best_other]["all"].norm_ipc
+        checks.append(ShapeCheck(
+            "Fig8a", claim, margin >= 0.98,
+            f"{bee['all'].norm_ipc:.2f} vs {best_other} "
+            f"{results[best_other]['all'].norm_ipc:.2f}"))
 
-    checks.append(ShapeCheck(
-        "Fig8a", "gains concentrate in the high-MPKI group",
-        bee["high"].norm_ipc > bee["low"].norm_ipc,
-        f"high {bee['high'].norm_ipc:.2f} vs low "
-        f"{bee['low'].norm_ipc:.2f}"))
+    claim = "gains concentrate in the high-MPKI group"
+    if _missing(results, ["Bumblebee"]):
+        checks.append(ShapeCheck.skip("Fig8a", claim, ["Bumblebee"]))
+    else:
+        bee = results["Bumblebee"]
+        checks.append(ShapeCheck(
+            "Fig8a", claim, bee["high"].norm_ipc > bee["low"].norm_ipc,
+            f"high {bee['high'].norm_ipc:.2f} vs low "
+            f"{bee['low'].norm_ipc:.2f}"))
 
-    checks.append(ShapeCheck(
-        "Fig8a", "Unison is the weakest design",
-        results["UnisonCache"]["all"].norm_ipc
-        <= min(r["all"].norm_ipc for r in results.values()) + 0.05,
-        f"Unison {results['UnisonCache']['all'].norm_ipc:.2f}"))
+    claim = "Unison is the weakest design"
+    if _missing(results, ["UnisonCache"]):
+        checks.append(ShapeCheck.skip("Fig8a", claim, ["UnisonCache"]))
+    else:
+        checks.append(ShapeCheck(
+            "Fig8a", claim,
+            results["UnisonCache"]["all"].norm_ipc
+            <= min(r["all"].norm_ipc for r in results.values()) + 0.05,
+            f"Unison {results['UnisonCache']['all'].norm_ipc:.2f}"))
 
-    checks.append(ShapeCheck(
-        "Fig8b", "Bumblebee's HBM traffic below Hybrid2's x1.6",
-        bee["all"].norm_hbm_traffic
-        < results["Hybrid2"]["all"].norm_hbm_traffic * 1.6,
-        f"{bee['all'].norm_hbm_traffic:.2f} vs Hybrid2 "
-        f"{results['Hybrid2']['all'].norm_hbm_traffic:.2f}"))
+    claim = "Bumblebee's HBM traffic below Hybrid2's x1.6"
+    missing = _missing(results, ["Bumblebee", "Hybrid2"])
+    if missing:
+        checks.append(ShapeCheck.skip("Fig8b", claim, missing))
+    else:
+        bee = results["Bumblebee"]
+        checks.append(ShapeCheck(
+            "Fig8b", claim,
+            bee["all"].norm_hbm_traffic
+            < results["Hybrid2"]["all"].norm_hbm_traffic * 1.6,
+            f"{bee['all'].norm_hbm_traffic:.2f} vs Hybrid2 "
+            f"{results['Hybrid2']['all'].norm_hbm_traffic:.2f}"))
 
-    checks.append(ShapeCheck(
-        "Fig8c", "POM designs cut off-chip traffic below baseline",
-        results["Chameleon"]["all"].norm_dram_traffic < 1.0,
-        f"Chameleon {results['Chameleon']['all'].norm_dram_traffic:.2f}"))
+    claim = "POM designs cut off-chip traffic below baseline"
+    if _missing(results, ["Chameleon"]):
+        checks.append(ShapeCheck.skip("Fig8c", claim, ["Chameleon"]))
+    else:
+        checks.append(ShapeCheck(
+            "Fig8c", claim,
+            results["Chameleon"]["all"].norm_dram_traffic < 1.0,
+            f"Chameleon "
+            f"{results['Chameleon']['all'].norm_dram_traffic:.2f}"))
 
-    checks.append(ShapeCheck(
-        "Fig8d", "Bumblebee beats the tag-in-HBM designs on energy",
-        bee["all"].norm_energy
-        < min(results["AlloyCache"]["all"].norm_energy,
-              results["UnisonCache"]["all"].norm_energy),
-        f"{bee['all'].norm_energy:.2f} vs AC "
-        f"{results['AlloyCache']['all'].norm_energy:.2f} / UC "
-        f"{results['UnisonCache']['all'].norm_energy:.2f}"))
+    claim = "Bumblebee beats the tag-in-HBM designs on energy"
+    missing = _missing(results, ["Bumblebee", "AlloyCache", "UnisonCache"])
+    if missing:
+        checks.append(ShapeCheck.skip("Fig8d", claim, missing))
+    else:
+        bee = results["Bumblebee"]
+        checks.append(ShapeCheck(
+            "Fig8d", claim,
+            bee["all"].norm_energy
+            < min(results["AlloyCache"]["all"].norm_energy,
+                  results["UnisonCache"]["all"].norm_energy),
+            f"{bee['all'].norm_energy:.2f} vs AC "
+            f"{results['AlloyCache']['all'].norm_energy:.2f} / UC "
+            f"{results['UnisonCache']['all'].norm_energy:.2f}"))
     return checks
 
 
 def check_figure7(results: Mapping[str, float]) -> list[ShapeCheck]:
-    """Shape claims of Figure 7."""
-    bee = results["Bumblebee"]
-    partitioning = [v for k, v in results.items() if k != "Meta-H"]
-    checks = [
-        ShapeCheck("Fig7", "C-Only is the weakest partitioning variant",
-                   results["C-Only"] <= min(partitioning) + 0.02,
-                   f"C-Only {results['C-Only']:.2f}"),
-        ShapeCheck("Fig7", "M-Only beats C-Only",
-                   results["M-Only"] > results["C-Only"],
-                   f"{results['M-Only']:.2f} vs {results['C-Only']:.2f}"),
-        ShapeCheck("Fig7", "Meta-H pays a metadata-latency penalty",
-                   results["Meta-H"] < bee * 0.9,
-                   f"Meta-H {results['Meta-H']:.2f} vs {bee:.2f}"),
-        ShapeCheck("Fig7", "full Bumblebee is the (tied-)top bar",
-                   bee >= max(results.values()) * 0.97,
-                   f"Bumblebee {bee:.2f} vs max "
-                   f"{max(results.values()):.2f}"),
-    ]
+    """Shape claims of Figure 7 (skipping claims over absent variants)."""
+    checks: list[ShapeCheck] = []
+
+    claim = "C-Only is the weakest partitioning variant"
+    if _missing(results, ["C-Only"]):
+        checks.append(ShapeCheck.skip("Fig7", claim, ["C-Only"]))
+    else:
+        partitioning = [v for k, v in results.items() if k != "Meta-H"]
+        checks.append(ShapeCheck(
+            "Fig7", claim,
+            results["C-Only"] <= min(partitioning) + 0.02,
+            f"C-Only {results['C-Only']:.2f}"))
+
+    claim = "M-Only beats C-Only"
+    missing = _missing(results, ["M-Only", "C-Only"])
+    if missing:
+        checks.append(ShapeCheck.skip("Fig7", claim, missing))
+    else:
+        checks.append(ShapeCheck(
+            "Fig7", claim, results["M-Only"] > results["C-Only"],
+            f"{results['M-Only']:.2f} vs {results['C-Only']:.2f}"))
+
+    claim = "Meta-H pays a metadata-latency penalty"
+    missing = _missing(results, ["Meta-H", "Bumblebee"])
+    if missing:
+        checks.append(ShapeCheck.skip("Fig7", claim, missing))
+    else:
+        checks.append(ShapeCheck(
+            "Fig7", claim, results["Meta-H"] < results["Bumblebee"] * 0.9,
+            f"Meta-H {results['Meta-H']:.2f} vs "
+            f"{results['Bumblebee']:.2f}"))
+
+    claim = "full Bumblebee is the (tied-)top bar"
+    if _missing(results, ["Bumblebee"]):
+        checks.append(ShapeCheck.skip("Fig7", claim, ["Bumblebee"]))
+    else:
+        checks.append(ShapeCheck(
+            "Fig7", claim,
+            results["Bumblebee"] >= max(results.values()) * 0.97,
+            f"Bumblebee {results['Bumblebee']:.2f} vs max "
+            f"{max(results.values()):.2f}"))
     return checks
 
 
 def check_overfetch(results: Mapping[str, float]) -> list[ShapeCheck]:
     """§IV-B over-fetch parity claim."""
+    claim = ("Bumblebee's over-fetch stays near fine-grained Hybrid2's "
+             "despite 8x/32x larger granularity")
+    missing = _missing(results, ["Bumblebee", "Hybrid2"])
+    if missing:
+        return [ShapeCheck.skip("SIV-B", claim, missing)]
     return [ShapeCheck(
-        "SIV-B", "Bumblebee's over-fetch stays near fine-grained "
-        "Hybrid2's despite 8x/32x larger granularity",
-        results["Bumblebee"] < 0.3,
+        "SIV-B", claim, results["Bumblebee"] < 0.3,
         f"Bumblebee {results['Bumblebee']:.1%} vs Hybrid2 "
         f"{results['Hybrid2']:.1%}")]
 
@@ -127,8 +209,12 @@ def check_metadata(report: Mapping) -> list[ShapeCheck]:
 
 
 def render_report(checks: list[ShapeCheck]) -> str:
-    """Human-readable pass/fail summary."""
+    """Human-readable pass/fail summary (skips counted separately)."""
+    skipped = sum(1 for c in checks if c.skipped)
     passed = sum(1 for c in checks if c.passed)
     lines = [c.render() for c in checks]
-    lines.append(f"-- {passed}/{len(checks)} shape claims reproduced")
+    summary = f"-- {passed}/{len(checks) - skipped} shape claims reproduced"
+    if skipped:
+        summary += f" ({skipped} skipped: not measured)"
+    lines.append(summary)
     return "\n".join(lines)

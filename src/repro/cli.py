@@ -8,6 +8,7 @@ Usage (also via ``python -m repro``)::
     repro characterise --workload wrf
     repro mix --preset mix-fig1 --design Bumblebee
     repro metadata
+    repro sanitize --designs all --seeds 3
 
 Every subcommand prints paper-style text tables; numeric knobs mirror
 :class:`~repro.analysis.experiments.ExperimentConfig`.
@@ -202,7 +203,30 @@ def cmd_validate(args: argparse.Namespace) -> int:
         {design: groups["all"].norm_ipc
          for design, groups in figure8.items()},
         title="normalised IPC (all workloads)", baseline=1.0))
-    return 0 if all(c.passed for c in checks) else 1
+    return 0 if all(c.passed or c.skipped for c in checks) else 1
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Differential replay + invariant sweep; exit 1 on any failure."""
+    from .analysis import SANITIZE_DESIGNS, run_differential
+    if args.designs == ["all"]:
+        designs = list(SANITIZE_DESIGNS)
+    else:
+        unknown = [d for d in args.designs if d not in SANITIZE_DESIGNS]
+        if unknown:
+            print(f"unknown design(s) {', '.join(unknown)}; valid: "
+                  f"{', '.join(SANITIZE_DESIGNS)} (or 'all')",
+                  file=sys.stderr)
+            return 2
+        designs = args.designs
+    report = run_differential(
+        designs=designs, seeds=args.seeds, requests=args.requests,
+        warmup=args.warmup, epoch_requests=args.epoch,
+        out_dir=args.out_dir,
+        progress=(lambda line: print(line, flush=True))
+        if args.verbose else None)
+    print(report.render())
+    return 0 if report.passed else 1
 
 
 def cmd_mix(args: argparse.Namespace) -> int:
@@ -285,6 +309,26 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="check every paper shape claim; exit 1 on miss")
     _add_window_args(validate)
     validate.set_defaults(func=cmd_validate)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="differential replay + invariant sweep; exit 1 on failure")
+    sanitize.add_argument("--designs", nargs="+", default=["all"],
+                          help="design names, or 'all' for the full "
+                               "sanitize set")
+    sanitize.add_argument("--seeds", type=int, default=3,
+                          help="randomized traces per design")
+    sanitize.add_argument("--requests", type=int, default=20_000,
+                          help="trace length per case (incl. warm-up)")
+    sanitize.add_argument("--warmup", type=int, default=4_000,
+                          help="warm-up requests before measurement")
+    sanitize.add_argument("--epoch", type=int, default=1024,
+                          help="invariant-check epoch (requests)")
+    sanitize.add_argument("--out-dir", default="sanitize-failures",
+                          help="where failing reproducers are written")
+    sanitize.add_argument("--verbose", action="store_true",
+                          help="print one line per case as it completes")
+    sanitize.set_defaults(func=cmd_sanitize)
 
     mix = sub.add_parser("mix", help="run a multi-programmed mix")
     mix.add_argument("--preset", default="mix-fig1",

@@ -27,6 +27,48 @@ class WayMode(enum.Enum):
     MHBM = "mhbm"
 
 
+#: Guards of the legal BLE mode transitions (§III-E).  Every arc of the
+#: mode graph is reachable, so what distinguishes a legal transition is
+#: the entry state *at the moment the mode flips*: a way is always
+#: claimed (owner bound) before it activates, blocks are only ever
+#: cached into a freshly reset way, the cHBM->mHBM switch needs cached
+#: blocks to promote, and a way returns to FREE only through reset()
+#: (owner already released).  The checker in :mod:`repro.sanitize`
+#: validates each observed flip against this table.
+LEGAL_TRANSITION_GUARDS: dict[tuple[WayMode, WayMode], "object"] = {
+    (WayMode.FREE, WayMode.MHBM):
+        lambda e: e.owner >= 0 and e.valid == 0 and e.dirty == 0,
+    (WayMode.FREE, WayMode.CHBM):
+        lambda e: e.owner >= 0 and e.valid == 0 and e.dirty == 0,
+    (WayMode.CHBM, WayMode.MHBM):
+        lambda e: e.owner >= 0 and e.valid != 0,
+    (WayMode.MHBM, WayMode.CHBM):
+        lambda e: e.owner >= 0,
+    (WayMode.CHBM, WayMode.FREE): lambda e: e.owner == -1,
+    (WayMode.MHBM, WayMode.FREE): lambda e: e.owner == -1,
+}
+
+
+def check_mode_transition(entry: "BlockLocationEntry", old: WayMode,
+                          new: WayMode) -> str | None:
+    """Validate one observed mode flip against the legal state machine.
+
+    Returns:
+        None for a legal transition, else a description of the breach.
+        Same-mode reassignment is always legal (idempotent writes).
+    """
+    if old is new:
+        return None
+    guard = LEGAL_TRANSITION_GUARDS.get((old, new))
+    if guard is None:
+        return f"illegal BLE transition {old.value} -> {new.value}"
+    if not guard(entry):
+        return (f"BLE transition {old.value} -> {new.value} with "
+                f"inconsistent entry state (owner={entry.owner}, "
+                f"valid={entry.valid:#x}, dirty={entry.dirty:#x})")
+    return None
+
+
 @dataclass
 class BlockLocationEntry:
     """Metadata of one HBM physical page (one way of a remapping set).

@@ -705,22 +705,51 @@ class BumblebeeController(HybridMemoryController):
     def check_invariants(self) -> None:
         """Cross-validate PRT, BLE, and hot-table state.
 
+        Beyond the PRT/BLE cross-references, every entry must be legal
+        for its mode (the §III-E state machine): free ways carry no
+        metadata, cached ways only dirty blocks they hold, mHBM pages
+        never accumulate dirty blocks (HBM *is* their home), all masks
+        stay within the geometry's block/line widths, no two ways of a
+        set claim the same page, and the total occupied HBM pages never
+        exceed the stack's capacity.
+
         Raises:
             AssertionError: on any metadata inconsistency.
         """
         g = self.geometry
+        full_blocks = self._full_block_mask
+        full_lines = self._full_line_mask
+        occupied_pages = 0
         for set_index in range(g.sets):
             rset = self.prt[set_index]
             rset.check_consistent()
             ble = self.ble[set_index]
+            owners_seen: set[int] = set()
             for way in range(g.hbm_ways):
                 entry = ble[way]
                 slot = g.dram_slots + way
+                assert entry.valid & ~full_blocks == 0 \
+                    and entry.dirty & ~full_blocks == 0, (
+                    f"set {set_index} way {way}: block mask wider than "
+                    f"{self.config.blocks_per_page} blocks")
+                assert entry.brought & ~full_lines == 0 \
+                    and entry.used & ~full_lines == 0, (
+                    f"set {set_index} way {way}: line mask wider than "
+                    f"{self._lines_per_page} lines")
                 if entry.mode is WayMode.MHBM:
+                    occupied_pages += 1
                     assert rset.occupant(slot) == entry.owner, (
                         f"set {set_index} way {way}: mHBM owner "
                         f"{entry.owner} but occupant {rset.occupant(slot)}")
+                    assert entry.dirty == 0, (
+                        f"set {set_index} way {way}: mHBM page carries "
+                        f"dirty blocks {entry.dirty:#x}")
+                    assert entry.owner not in owners_seen, (
+                        f"set {set_index}: page {entry.owner} owned by "
+                        f"two ways")
+                    owners_seen.add(entry.owner)
                 elif entry.mode is WayMode.CHBM:
+                    occupied_pages += 1
                     assert not rset.is_occupied(slot), (
                         f"set {set_index} way {way}: cHBM way's slot is "
                         "OS-occupied")
@@ -728,5 +757,21 @@ class BumblebeeController(HybridMemoryController):
                     assert 0 <= home < g.dram_slots, (
                         f"set {set_index} way {way}: cached page "
                         f"{entry.owner} does not live in DRAM (slot {home})")
+                    assert entry.dirty & ~entry.valid == 0, (
+                        f"set {set_index} way {way}: dirty blocks "
+                        f"{entry.dirty:#x} outside valid {entry.valid:#x}")
+                    assert entry.owner not in owners_seen, (
+                        f"set {set_index}: page {entry.owner} cached by "
+                        f"two ways")
+                    owners_seen.add(entry.owner)
                 else:
-                    assert entry.owner == -1 and entry.valid == 0
+                    assert entry.owner == -1 and entry.valid == 0, (
+                        f"set {set_index} way {way}: free way retains "
+                        f"owner {entry.owner} / valid {entry.valid:#x}")
+                    assert entry.dirty == 0, (
+                        f"set {set_index} way {way}: free way retains "
+                        f"dirty blocks {entry.dirty:#x}")
+        assert occupied_pages * self._page_bytes \
+            <= self.hbm.capacity_bytes, (
+            f"{occupied_pages} occupied HBM pages of {self._page_bytes}B "
+            f"exceed the {self.hbm.capacity_bytes}B stack")

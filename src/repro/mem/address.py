@@ -66,6 +66,34 @@ class AddressMapper:
             channel=channel, bank=bank, row=row,
             column_byte=local % g.row_bytes)
 
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Rebuild the flat byte address of ``decoded`` coordinates.
+
+        Exact inverse of :meth:`decode`: ``encode(decode(a)) == a`` for
+        every in-range address (pinned by property tests).
+
+        Raises:
+            ValueError: if any coordinate lies outside the geometry.
+        """
+        g = self._geometry
+        if not 0 <= decoded.channel < g.channels:
+            raise ValueError(f"channel {decoded.channel} out of range")
+        if not 0 <= decoded.bank < g.banks_per_channel:
+            raise ValueError(f"bank {decoded.bank} out of range")
+        if not 0 <= decoded.column_byte < g.row_bytes:
+            raise ValueError(f"column {decoded.column_byte} out of range")
+        if decoded.row < 0:
+            raise ValueError(f"row {decoded.row} out of range")
+        row_index = decoded.row * g.banks_per_channel + decoded.bank
+        local = row_index * g.row_bytes + decoded.column_byte
+        chunk = (local // g.interleave_bytes) * g.channels + decoded.channel
+        addr = chunk * g.interleave_bytes + local % g.interleave_bytes
+        if addr >= g.capacity_bytes:
+            raise ValueError(
+                f"coordinates encode to {addr:#x}, outside device of "
+                f"{g.capacity_bytes:#x} bytes")
+        return addr
+
     def same_row(self, addr_a: int, addr_b: int) -> bool:
         """True when two addresses land in the same (channel, bank, row)."""
         a = self.decode(addr_a)

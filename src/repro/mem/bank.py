@@ -102,6 +102,38 @@ class Bank:
         return BankAccess(outcome=outcome, issue_ns=issue, data_ns=data,
                           activated=activated)
 
+    def check_consistent(self) -> list[str]:
+        """Row-buffer state vs. issued-command history; empty when healthy.
+
+        Only :meth:`access` opens a row or advances the busy horizon, and
+        the first access after power-on/reset always activates (the row
+        buffer starts precharged) — so an open row or a non-zero busy
+        window without any recorded outcome, or row hits without a prior
+        activate, mean the counters and the FSM have diverged.
+        """
+        violations: list[str] = []
+        if self.hits < 0 or self.closed < 0 or self.conflicts < 0:
+            violations.append(
+                f"negative outcome counters (hits={self.hits}, "
+                f"closed={self.closed}, conflicts={self.conflicts})")
+        outcomes = self.hits + self.closed + self.conflicts
+        if self._open_row is not None and self._open_row < 0:
+            violations.append(f"negative open row {self._open_row}")
+        if self._busy_until_ns < 0.0:
+            violations.append(
+                f"negative busy horizon {self._busy_until_ns}ns")
+        if self._open_row is not None and outcomes == 0:
+            violations.append(
+                f"row {self._open_row} open with no recorded access")
+        if self._busy_until_ns > 0.0 and outcomes == 0:
+            violations.append(
+                f"busy until {self._busy_until_ns}ns with no recorded "
+                f"access")
+        if self.hits > 0 and self.closed + self.conflicts == 0:
+            violations.append(
+                f"{self.hits} row hits but no activate ever recorded")
+        return violations
+
     def precharge_all(self) -> None:
         """Close the open row (e.g. around a refresh window)."""
         self._open_row = None

@@ -162,6 +162,46 @@ class Channel:
             self.read_bytes += nbytes
         self.counters.busy_ns = max(self.counters.busy_ns, done_ns)
 
+    def check_consistent(self) -> list[str]:
+        """Channel-level bookkeeping invariants; empty when healthy.
+
+        ``counters.busy_ns`` is raised to every demand completion that
+        also advances ``_bus_free_ns``, so it can never trail the bus
+        horizon; burst counts are per-operation ceilings of the byte
+        counts, so ``bursts * burst_bytes`` bounds the bytes from above;
+        and activations cover at least every closed/conflict bank
+        outcome (bulk transfers add more).
+        """
+        violations = [f"channel {self.index} bank {b}: {v}"
+                      for b, bank in enumerate(self._banks)
+                      for v in bank.check_consistent()]
+        c = self.counters
+        prefix = f"channel {self.index}: "
+        if min(self.read_bytes, self.write_bytes, c.activations,
+               c.read_bursts, c.write_bursts, c.refreshes) < 0:
+            violations.append(prefix + "negative traffic/energy counter")
+        if self._backlog_ns < 0.0:
+            violations.append(
+                prefix + f"negative movement backlog {self._backlog_ns}ns")
+        if c.busy_ns < self._bus_free_ns:
+            violations.append(
+                prefix + f"busy horizon {c.busy_ns}ns trails bus horizon "
+                f"{self._bus_free_ns}ns")
+        if c.read_bursts * self._burst_bytes < self.read_bytes:
+            violations.append(
+                prefix + f"{self.read_bytes} read bytes exceed "
+                f"{c.read_bursts} bursts of {self._burst_bytes}B")
+        if c.write_bursts * self._burst_bytes < self.write_bytes:
+            violations.append(
+                prefix + f"{self.write_bytes} write bytes exceed "
+                f"{c.write_bursts} bursts of {self._burst_bytes}B")
+        activates_needed = sum(b.closed + b.conflicts for b in self._banks)
+        if c.activations < activates_needed:
+            violations.append(
+                prefix + f"{c.activations} activations below the "
+                f"{activates_needed} closed/conflict bank outcomes")
+        return violations
+
     def reset(self) -> None:
         for bank in self._banks:
             bank.reset()

@@ -148,6 +148,15 @@ class MemoryDevice:
                 conflicts += bank.conflicts
         return {"hits": hits, "closed": closed, "conflicts": conflicts}
 
+    def check_consistent(self) -> list[str]:
+        """Device-wide bookkeeping invariants; empty when healthy."""
+        violations = [f"{self.name}: {v}" for channel in self._channels
+                      for v in channel.check_consistent()]
+        traffic = self.traffic()
+        if traffic.read_bytes < 0 or traffic.write_bytes < 0:
+            violations.append(f"{self.name}: negative aggregate traffic")
+        return violations
+
     def reset(self) -> None:
         for channel in self._channels:
             channel.reset()

@@ -1,0 +1,19 @@
+"""Simulation sanitizer: runtime invariant checking and trace shrinking.
+
+Opt-in correctness tooling for the simulator: install an
+:class:`InvariantChecker` into a
+:class:`~repro.sim.driver.SimulationDriver` to assert conservation laws
+while a run executes, and use :func:`shrink_trace` to reduce failing
+traces to minimal reproducers.  The differential replay harness built
+on both lives in :mod:`repro.analysis.differential` (CLI:
+``repro sanitize``).
+"""
+
+from .invariants import InvariantChecker, InvariantViolation
+from .shrink import shrink_trace
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "shrink_trace",
+]

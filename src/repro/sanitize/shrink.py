@@ -1,0 +1,71 @@
+"""Delta-debugging trace reduction for the differential harness.
+
+When a randomized trace exposes a packed-vs-object divergence or an
+invariant violation, replaying the whole stream is a poor reproducer.
+:func:`shrink_trace` applies ddmin (Zeller & Hildebrandt) over the
+packed request stream: repeatedly drop chunks, keep any reduction that
+still fails, and refine the granularity until no single request can be
+removed — a 1-minimal failing subsequence.
+
+The predicate receives a :class:`~repro.traces.packed.PackedTrace` and
+returns True when the failure still reproduces.  Predicates here re-run
+whole simulations, so the test budget is capped; on exhaustion the best
+reduction found so far is returned (still a valid reproducer, just not
+guaranteed 1-minimal).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable
+
+from ..traces.packed import PackedTrace
+
+
+def shrink_trace(trace: PackedTrace,
+                 still_fails: Callable[[PackedTrace], bool],
+                 max_tests: int = 512) -> PackedTrace:
+    """Reduce ``trace`` to a small subsequence on which the failure
+    persists.
+
+    Args:
+        trace: The failing stream.
+        still_fails: Predicate re-running the failing scenario; True
+            when the candidate subsequence still exhibits the failure.
+        max_tests: Upper bound on predicate invocations.
+
+    Returns:
+        The smallest failing subsequence found (1-minimal when the
+        budget sufficed; ``trace`` itself if it no longer fails, e.g.
+        a non-deterministic failure).
+    """
+    values = list(trace.data)
+    tests = 0
+
+    def fails(subset: list[int]) -> bool:
+        nonlocal tests
+        tests += 1
+        return still_fails(PackedTrace(array("Q", subset)))
+
+    if not values or not fails(values):
+        return trace
+    granularity = 2
+    while len(values) >= 2 and tests < max_tests:
+        chunk = max(1, len(values) // granularity)
+        reduced = False
+        start = 0
+        while start < len(values) and tests < max_tests:
+            candidate = values[:start] + values[start + chunk:]
+            if candidate and fails(candidate):
+                values = candidate
+                # Complement removal keeps the granularity coarse
+                # (standard ddmin: retry at n-1 splits, floor 2).
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if chunk <= 1:
+                break
+            granularity = min(len(values), granularity * 2)
+    return PackedTrace(array("Q", values))

@@ -156,10 +156,22 @@ class SimResult:
 
 
 class SimulationDriver:
-    """Runs request streams against hybrid memory controllers."""
+    """Runs request streams against hybrid memory controllers.
 
-    def __init__(self, cpu: CpuModel | None = None) -> None:
+    Args:
+        cpu: The analytic CPU model (defaults to the paper system).
+        checker: Optional :class:`~repro.sanitize.InvariantChecker`.
+            When set, runs execute through a checked loop that validates
+            conservation laws per request and per epoch (see
+            :mod:`repro.sanitize.invariants`) — numerically identical
+            results, sanitizer-grade overhead.  When None (the default)
+            the unmodified zero-overhead fast loop runs.
+    """
+
+    def __init__(self, cpu: CpuModel | None = None,
+                 checker: "object | None" = None) -> None:
         self.cpu = cpu or CpuModel()
+        self.checker = checker
 
     def run(self, controller: "HybridMemoryController",
             trace: Iterable[MemoryRequest],
@@ -202,6 +214,9 @@ class SimulationDriver:
         # traces replay through one reused mutable request — the
         # controllers only ever read request fields, so the loop body is
         # identical either way.
+        if self.checker is not None:
+            return self._run_checked(controller, trace, workload,
+                                     max_requests, warmup, self.checker)
         if isinstance(trace, PackedTrace):
             trace = trace.replay()
         cpu = self.cpu
@@ -252,6 +267,87 @@ class SimulationDriver:
         now_ns -= measure_start_ns
         histogram = Histogram(bounds=list(LATENCY_BOUNDS), counts=counts,
                               total=requests)
+        return self._build_result(controller, workload, instructions,
+                                  requests, now_ns, total_latency,
+                                  total_metadata, hbm_hits, histogram)
+
+    def _run_checked(self, controller: "HybridMemoryController",
+                     trace: Iterable[MemoryRequest], workload: str,
+                     max_requests: int | None, warmup: int,
+                     checker) -> SimResult:
+        """The :meth:`run` loop with sanitizer hooks woven in.
+
+        Term-for-term the same arithmetic as the fast loop (results are
+        numerically identical, pinned by tests); the only additions are
+        the checker callbacks around each request and at the warm-up
+        boundary.
+        """
+        if isinstance(trace, PackedTrace):
+            trace = trace.replay()
+        cpu = self.cpu
+        retire_rate = cpu.ipc_peak * cpu.cores
+        freq_ghz = cpu.freq_ghz
+        mlp = cpu.mlp
+        controller_access = controller.access
+        fault_penalty = controller.page_fault_penalty_ns
+        bounds = LATENCY_BOUNDS
+        bucket = bisect_right
+        limit = float("inf") if max_requests is None else max_requests
+        now_ns = 0.0
+        measure_start_ns = 0.0
+        instructions = 0
+        requests = 0
+        seen = 0
+        total_latency = 0.0
+        total_metadata = 0.0
+        hbm_hits = 0
+        counts = [0] * (len(bounds) + 1)
+        checker.on_run_start(controller, workload)
+        for request in trace:
+            if requests >= limit:
+                break
+            if seen == warmup and warmup:
+                controller.reset_measurements()
+                measure_start_ns = now_ns
+                instructions = 0
+                total_latency = 0.0
+                total_metadata = 0.0
+                hbm_hits = 0
+                requests = 0
+                counts = [0] * (len(bounds) + 1)
+                checker.on_measurement_reset(now_ns)
+            seen += 1
+            icount = request.icount
+            now_ns += icount / retire_rate / freq_ghz
+            instructions += icount
+            fault_ns = fault_penalty(request)
+            before_ns = now_ns
+            result = controller_access(request, now_ns + fault_ns)
+            latency_ns = result.latency_ns + fault_ns
+            now_ns += latency_ns / mlp
+            total_latency += latency_ns
+            total_metadata += result.metadata_ns
+            counts[bucket(bounds, latency_ns)] += 1
+            if result.hbm_hit:
+                hbm_hits += 1
+            requests += 1
+            checker.on_request(request, result, fault_ns, before_ns,
+                               now_ns)
+        controller.finish(now_ns)
+        now_ns -= measure_start_ns
+        histogram = Histogram(bounds=list(LATENCY_BOUNDS), counts=counts,
+                              total=requests)
+        sim_result = self._build_result(controller, workload, instructions,
+                                        requests, now_ns, total_latency,
+                                        total_metadata, hbm_hits, histogram)
+        checker.on_run_end(controller, sim_result)
+        return sim_result
+
+    def _build_result(self, controller: "HybridMemoryController",
+                      workload: str, instructions: int, requests: int,
+                      elapsed_ns: float, total_latency: float,
+                      total_metadata: float, hbm_hits: int,
+                      histogram: Histogram) -> SimResult:
         hbm_traffic = controller.hbm.traffic() if controller.hbm else None
         dram_traffic = controller.dram.traffic()
         zero = EnergyBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
@@ -260,7 +356,7 @@ class SimulationDriver:
             workload=workload,
             instructions=instructions,
             requests=requests,
-            elapsed_ns=now_ns,
+            elapsed_ns=elapsed_ns,
             total_latency_ns=total_latency,
             total_metadata_ns=total_metadata,
             hbm_hits=hbm_hits,
@@ -268,9 +364,9 @@ class SimulationDriver:
             hbm_write_bytes=hbm_traffic.write_bytes if hbm_traffic else 0,
             dram_read_bytes=dram_traffic.read_bytes,
             dram_write_bytes=dram_traffic.write_bytes,
-            hbm_energy=(controller.hbm.energy(now_ns)
+            hbm_energy=(controller.hbm.energy(elapsed_ns)
                         if controller.hbm else zero),
-            dram_energy=controller.dram.energy(now_ns),
+            dram_energy=controller.dram.energy(elapsed_ns),
             cpu=self.cpu,
             controller_stats=controller.stats.as_dict(),
             metadata_bytes=controller.metadata_bytes(),

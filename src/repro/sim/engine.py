@@ -94,6 +94,27 @@ class EventEngine:
         self.fired += fired
         return fired
 
+    def check_invariants(self) -> list[str]:
+        """Structural invariants of the scheduler; empty when healthy.
+
+        A live (non-cancelled) event dated before ``now_ns`` can never
+        fire at the right time — ``advance_to`` already passed it — and
+        the heap must keep its partial order for pops to be globally
+        ordered.
+        """
+        violations: list[str] = []
+        queue = self._queue
+        for event in queue:
+            if not event.cancelled and event.when_ns < self._now_ns:
+                violations.append(
+                    f"pending event at {event.when_ns}ns is in the past "
+                    f"(now={self._now_ns}ns)")
+        for i in range(1, len(queue)):
+            if queue[i] < queue[(i - 1) >> 1]:
+                violations.append(
+                    f"event heap order violated at index {i}")
+        return violations
+
     def drain(self) -> int:
         """Fire every remaining event in timestamp order."""
         fired = 0

@@ -69,9 +69,16 @@ class Histogram:
             self.counts = [0] * (len(self.bounds) + 1)
         # Cumulative-count cache for percentile(); a plain attribute
         # (not a dataclass field) so equality, repr, and asdict dumps
-        # are unaffected.  Rebuilt whenever its grand total no longer
-        # matches self.total (i.e. after add()).
+        # are unaffected.  Every mutation path must call
+        # _invalidate_cache() — a total-based staleness guard is not
+        # enough, because mutations that preserve the total (merging a
+        # histogram with an empty one, rescaling counts) would slip
+        # past it.
         self._cumulative: list[int] | None = None
+
+    def _invalidate_cache(self) -> None:
+        """Drop the cumulative cache; call after any counts mutation."""
+        self._cumulative = None
 
     def add(self, sample: float, weight: int = 1) -> None:
         """Record ``sample`` with multiplicity ``weight``."""
@@ -79,7 +86,20 @@ class Histogram:
         # sample — exactly the linear scan's bucket, without the scan.
         self.counts[bisect_right(self.bounds, sample)] += weight
         self.total += weight
-        self._cumulative = None
+        self._invalidate_cache()
+
+    def merge(self, other: "Histogram") -> None:
+        """Accumulate ``other``'s buckets into this histogram.
+
+        Raises:
+            ValueError: when the bucket bounds differ.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self._invalidate_cache()
 
     def percentile(self, percentile: float) -> float:
         """Upper bound of the bucket containing ``percentile``.
@@ -94,7 +114,7 @@ class Histogram:
         if not 0.0 < percentile <= 100.0:
             raise ValueError("percentile must be in (0, 100]")
         cumulative = self._cumulative
-        if cumulative is None or cumulative[-1] != self.total:
+        if cumulative is None:
             cumulative = self._cumulative = list(accumulate(self.counts))
         target = percentile / 100.0 * self.total
         index = bisect_left(cumulative, target)

@@ -39,7 +39,13 @@ from .mixes import (
     mix_trace,
     preset_mix_trace,
 )
-from .synthetic import SyntheticSpec, SyntheticTraceGenerator, phase_shift_trace
+from .synthetic import (
+    GENERATOR_VERSION,
+    SyntheticSpec,
+    SyntheticTraceGenerator,
+    derive_seed,
+    phase_shift_trace,
+)
 from .trace import (
     TraceSummary,
     interleave,
@@ -60,6 +66,8 @@ __all__ = [
     "workload_trace",
     "SyntheticSpec",
     "SyntheticTraceGenerator",
+    "GENERATOR_VERSION",
+    "derive_seed",
     "phase_shift_trace",
     "MIX_PRESETS",
     "MixMember",

@@ -29,7 +29,7 @@ from typing import Iterator, Sequence
 
 from ..sim.request import MemoryRequest
 from .spec import DEFAULT_SCALE, SPEC2017, SystemScale, synthetic_spec
-from .synthetic import SyntheticSpec, SyntheticTraceGenerator
+from .synthetic import SyntheticSpec, SyntheticTraceGenerator, derive_seed
 
 
 @dataclass(frozen=True)
@@ -74,12 +74,17 @@ class PhaseSchedule:
         Phases stream through :func:`itertools.islice` (constant
         memory) — a long schedule never materialises a whole phase of
         request objects at once.
+
+        Each phase instance's RNG derives from a hash mix of the base
+        seed and the instance index (``seed + instance`` collided
+        across neighbouring schedule seeds).
         """
         instance = 0
         for _ in range(self.cycles):
             for phase in self.phases:
                 generator = SyntheticTraceGenerator(
-                    phase.spec, seed=self.seed + instance)
+                    phase.spec,
+                    seed=derive_seed("phase-schedule", self.seed, instance))
                 yield from itertools.islice(iter(generator),
                                             phase.requests)
                 instance += 1

@@ -21,6 +21,7 @@ derived from the two knobs.  All randomness flows from one seeded
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import random
 import zlib
@@ -31,6 +32,25 @@ from array import array
 
 from ..sim.request import CACHE_LINE_BYTES, MemoryRequest
 from .packed import ICOUNT_MAX, LINE_MAX, LINE_SHIFT, PackedTrace
+
+#: Version of the stream-derivation scheme.  Bumped whenever generated
+#: streams change for the same inputs — v2 replaced the additive
+#: ``seed + phase`` sub-stream derivation (which collided: (seed=4,
+#: phase=1) == (seed=5, phase=0)) with :func:`derive_seed`.  The trace
+#: cache keys on this, so stale cached streams are never resurfaced.
+GENERATOR_VERSION = 2
+
+
+def derive_seed(*parts: object) -> int:
+    """Derive an independent RNG seed from a tuple of mix-ins.
+
+    A proper hash mix: any change to any part (including swapping values
+    between positions) yields an unrelated seed, unlike additive schemes
+    where ``(seed+1, phase)`` and ``(seed, phase+1)`` collide.  Stable
+    across processes and platforms (unlike salted ``str.__hash__``).
+    """
+    canonical = repr(parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(canonical).digest()[:8], "big")
 
 
 @dataclass(frozen=True)
@@ -246,8 +266,13 @@ def phase_shift_trace(spec_a: SyntheticSpec, spec_b: SyntheticSpec,
     runtime* — each phase flips the dominant locality pattern.  Phases
     stream lazily (constant memory): nothing is materialised, so long
     phase-change runs never hold a whole phase of request objects.
+
+    Each phase's RNG derives from a hash mix of the base seed and the
+    phase index (not ``seed + phase``, whose collisions made e.g.
+    (seed=4, phase=1) replay (seed=5, phase=0)'s stream exactly).
     """
     for phase in range(phases):
         spec = spec_a if phase % 2 == 0 else spec_b
-        generator = SyntheticTraceGenerator(spec, seed=seed + phase)
+        generator = SyntheticTraceGenerator(
+            spec, seed=derive_seed("phase-shift", seed, phase))
         yield from itertools.islice(iter(generator), n_per_phase)

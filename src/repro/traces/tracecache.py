@@ -32,7 +32,11 @@ import tempfile
 from pathlib import Path
 
 from .packed import PACKED_FORMAT_VERSION, PackedTrace
-from .synthetic import SyntheticSpec, SyntheticTraceGenerator
+from .synthetic import (
+    GENERATOR_VERSION,
+    SyntheticSpec,
+    SyntheticTraceGenerator,
+)
 
 #: Environment variable holding the cache root (or an off switch).
 TRACE_CACHE_ENV = "REPRO_TRACE_CACHE"
@@ -103,15 +107,17 @@ class TraceCache:
         """Content-hash key of one ``(spec, n, seed)`` miss stream.
 
         The key covers every input that shapes the stream plus the
-        packed-format version, so a generator or layout change can never
-        resurface a stale trace — old entries are simply never looked up
-        again.
+        packed-format and generator versions, so a generator or layout
+        change can never resurface a stale trace — old entries are
+        simply never looked up again.  (The v2 generator bump retired
+        every pre-seed-mix-fix entry this way.)
         """
         fields = {
             "spec": dataclasses.asdict(spec),
             "n": n,
             "seed": seed,
             "format": PACKED_FORMAT_VERSION,
+            "generator": GENERATOR_VERSION,
         }
         canonical = json.dumps(fields, sort_keys=True,
                                separators=(",", ":"), default=str)

@@ -74,3 +74,17 @@ class TestCommands:
                             "--design", "Bumblebee", *WINDOW)
         assert code == 0
         assert "mix-fig1" in out
+
+    def test_sanitize_small(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "sanitize", "--designs", "Banshee",
+                            "--seeds", "1", "--requests", "800",
+                            "--warmup", "100",
+                            "--out-dir", str(tmp_path))
+        assert code == 0
+        assert "all checks passed" in out
+        assert not any(tmp_path.iterdir())
+
+    def test_sanitize_rejects_unknown_design(self, capsys):
+        code = main(["sanitize", "--designs", "MagicCache",
+                     "--seeds", "1"])
+        assert code == 2

@@ -174,3 +174,42 @@ class TestValidation:
         text = render_report(checks)
         assert "1/2" in text
         assert "[MISS]" in text
+
+    def test_figure8_bumblebee_free_campaign_skips(self):
+        # Regression: a campaign over a subset of designs crashed the
+        # shape checks with KeyError; absent designs now skip-and-report.
+        results = fig8_results()
+        del results["Bumblebee"]
+        checks = check_figure8(results)
+        skipped = [c for c in checks if c.skipped]
+        assert skipped
+        assert all("Bumblebee" in c.measured for c in skipped)
+        # Claims that never reference Bumblebee still evaluate.
+        evaluated = [c for c in checks if not c.skipped]
+        assert evaluated
+        assert all(not c.passed for c in skipped)  # skips never "pass"
+
+    def test_figure8_single_design_never_crashes(self):
+        results = {"Banshee": fig8_results()["Banshee"]}
+        checks = check_figure8(results)
+        assert checks
+        assert all(c.skipped for c in checks)
+
+    def test_figure7_subset_skips(self):
+        checks = check_figure7({"Bumblebee": 2.0, "M-Only": 1.6})
+        assert any(c.skipped for c in checks)
+        assert any(not c.skipped for c in checks)
+
+    def test_overfetch_subset_skips(self):
+        checks = check_overfetch({"Bumblebee": 0.13})
+        assert len(checks) == 1
+        assert checks[0].skipped
+        assert "Hybrid2" in checks[0].measured
+
+    def test_render_report_counts_skips_separately(self):
+        checks = [ShapeCheck("a", "b", True, "c"),
+                  ShapeCheck.skip("d", "e", ["Bumblebee"])]
+        text = render_report(checks)
+        assert "1/1" in text
+        assert "[SKIP]" in text
+        assert "1 skipped" in text

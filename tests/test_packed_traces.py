@@ -96,13 +96,15 @@ class TestGeneratorIdentity:
         assert request.line == frozen.line
 
     def test_phase_shift_trace_streams_generator_prefixes(self):
+        from repro.traces import derive_seed
         spec_b = synthetic_spec("leela", SystemScale(1 / 256))
         streamed = list(phase_shift_trace(SPEC, spec_b, n_per_phase=200,
                                           phases=2, seed=5))
         expected = []
         for phase, spec in enumerate((SPEC, spec_b)):
             expected.extend(SyntheticTraceGenerator(
-                spec, seed=5 + phase).generate(200))
+                spec, seed=derive_seed("phase-shift", 5, phase)
+            ).generate(200))
         assert streamed == expected
 
 

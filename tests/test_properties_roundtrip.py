@@ -1,0 +1,106 @@
+"""Property-based round-trip tests: address interleaving and packed
+trace encoding are exact inverses across their whole domains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import (
+    ddr4_3200_config,
+    ddr5_4800_config,
+    hbm2_config,
+    hbm3_config,
+)
+from repro.mem.address import AddressMapper, DecodedAddress
+from repro.sim.request import CACHE_LINE_BYTES
+from repro.traces.packed import (
+    ICOUNT_MAX,
+    LINE_MAX,
+    decode_value,
+    encode_request,
+)
+
+MIB = 1 << 20
+CONFIGS = [hbm2_config, ddr4_3200_config, hbm3_config, ddr5_4800_config]
+CAPACITIES = [4 * MIB, 8 * MIB, 40 * MIB]
+
+
+class TestAddressRoundTrip:
+    @pytest.mark.parametrize("make_config", CONFIGS)
+    @pytest.mark.parametrize("capacity", CAPACITIES)
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_encode_inverts_decode(self, make_config, capacity, data):
+        """decode -> encode reproduces every in-range address exactly."""
+        mapper = AddressMapper(make_config(capacity).geometry)
+        addr = data.draw(st.integers(0, capacity - 1))
+        decoded = mapper.decode(addr)
+        assert mapper.encode(decoded) == addr
+
+    @pytest.mark.parametrize("make_config", CONFIGS)
+    def test_boundary_addresses(self, make_config):
+        capacity = 8 * MIB
+        mapper = AddressMapper(make_config(capacity).geometry)
+        g = mapper.geometry
+        boundaries = {0, 1, capacity - 1,
+                      g.interleave_bytes - 1, g.interleave_bytes,
+                      g.row_bytes - 1, g.row_bytes,
+                      capacity - g.interleave_bytes}
+        for addr in boundaries:
+            assert mapper.encode(mapper.decode(addr)) == addr
+
+    @pytest.mark.parametrize("make_config", CONFIGS)
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_decode_inverts_encode(self, make_config, data):
+        """Any legal coordinate tuple round-trips through the flat
+        address space (the mapping is a bijection, not just injective)."""
+        g = make_config(8 * MIB).geometry
+        mapper = AddressMapper(g)
+        rows = 8 * MIB // g.channels // g.banks_per_channel // g.row_bytes
+        decoded = DecodedAddress(
+            channel=data.draw(st.integers(0, g.channels - 1)),
+            bank=data.draw(st.integers(0, g.banks_per_channel - 1)),
+            row=data.draw(st.integers(0, rows - 1)),
+            column_byte=data.draw(st.integers(0, g.row_bytes - 1)))
+        assert mapper.decode(mapper.encode(decoded)) == decoded
+
+    def test_encode_rejects_out_of_range(self):
+        mapper = AddressMapper(hbm2_config(8 * MIB).geometry)
+        g = mapper.geometry
+        with pytest.raises(ValueError):
+            mapper.encode(DecodedAddress(channel=g.channels, bank=0,
+                                         row=0, column_byte=0))
+        with pytest.raises(ValueError):
+            mapper.encode(DecodedAddress(channel=0, bank=0, row=0,
+                                         column_byte=g.row_bytes))
+
+
+class TestPackedRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(line=st.integers(0, LINE_MAX),
+           is_write=st.booleans(),
+           icount=st.integers(0, ICOUNT_MAX))
+    def test_request_roundtrip(self, line, is_write, icount):
+        addr = line * CACHE_LINE_BYTES
+        value = encode_request(addr, is_write, icount)
+        assert 0 <= value < (1 << 64)  # fits an array('Q') slot
+        assert decode_value(value) == (addr, is_write, icount)
+
+    @pytest.mark.parametrize("line", [0, 1, LINE_MAX - 1, LINE_MAX])
+    @pytest.mark.parametrize("icount", [0, 1, ICOUNT_MAX - 1, ICOUNT_MAX])
+    @pytest.mark.parametrize("is_write", [False, True])
+    def test_bit_budget_boundaries(self, line, icount, is_write):
+        """The extreme corners of every packed field survive exactly —
+        no field bleeds into a neighbour's bits."""
+        addr = line * CACHE_LINE_BYTES
+        value = encode_request(addr, is_write, icount)
+        assert decode_value(value) == (addr, is_write, icount)
+
+    def test_out_of_budget_rejected(self):
+        with pytest.raises(ValueError):
+            encode_request((LINE_MAX + 1) * CACHE_LINE_BYTES, False, 1)
+        with pytest.raises(ValueError):
+            encode_request(0, False, ICOUNT_MAX + 1)
+        with pytest.raises(ValueError):
+            encode_request(CACHE_LINE_BYTES + 1, False, 1)

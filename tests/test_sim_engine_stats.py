@@ -6,6 +6,30 @@ from repro.sim import CpuModel, EventEngine, Histogram, StatGroup, geomean
 
 
 class TestEventEngine:
+    def test_check_invariants_clean_engine(self):
+        engine = EventEngine()
+        engine.schedule(10.0, lambda t: None)
+        engine.schedule(20.0, lambda t: None)
+        assert engine.check_invariants() == []
+        engine.advance_to(15.0)
+        assert engine.check_invariants() == []
+
+    def test_check_invariants_flags_past_event(self):
+        engine = EventEngine()
+        engine.schedule(10.0, lambda t: None)
+        # Corrupt the clock directly: a live event is now in the past.
+        engine._now_ns = 50.0
+        violations = engine.check_invariants()
+        assert violations
+        assert "in the past" in violations[0]
+
+    def test_check_invariants_ignores_cancelled_past_event(self):
+        engine = EventEngine()
+        event = engine.schedule(10.0, lambda t: None)
+        event.cancel()
+        engine._now_ns = 50.0
+        assert engine.check_invariants() == []
+
     def test_events_fire_in_time_order(self):
         engine = EventEngine()
         order = []
@@ -169,6 +193,46 @@ class TestHistogramPercentile:
         for bad in (0.0, -1.0, 100.5):
             with pytest.raises(ValueError):
                 hist.percentile(bad)
+
+    def test_cache_invalidated_by_merge(self):
+        # Regression: the cumulative cache used a total-based staleness
+        # guard; a mutation path that bypassed it served percentiles
+        # from the pre-mutation distribution.  Every mutation now
+        # invalidates explicitly.
+        a = Histogram(bounds=[10.0, 20.0])
+        a.add(5, weight=4)
+        assert a.percentile(100.0) == 10.0  # primes the cache
+        b = Histogram(bounds=[10.0, 20.0])
+        b.add(15, weight=4)
+        a.merge(b)
+        assert a.total == 8
+        assert a.percentile(50.0) == 10.0
+        assert a.percentile(100.0) == 20.0
+
+    def test_merge_rejects_bound_mismatch(self):
+        a = Histogram(bounds=[10.0])
+        b = Histogram(bounds=[20.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_interleaved_reads_and_mutations_never_stale(self):
+        hist = Histogram(bounds=[1.0, 2.0, 4.0])
+        reference: list[tuple[float, int]] = []
+
+        def rescan(percentile):
+            target = percentile / 100.0 * hist.total
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                if cumulative >= target:
+                    return bound
+            return float("inf")
+
+        for sample in (0.5, 3.0, 1.5, 9.0, 0.1, 3.9):
+            hist.add(sample)
+            reference.append((sample, 1))
+            for pct in (25, 50, 75, 100):
+                assert hist.percentile(pct) == rescan(pct)
 
 
 class TestGeomean:

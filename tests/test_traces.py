@@ -144,6 +144,29 @@ class TestGenerator:
         trace = list(phase_shift_trace(a, b, n_per_phase=100, phases=4))
         assert len(trace) == 400
 
+    def test_phase_seeds_do_not_collide(self):
+        # Regression: per-phase seeding used ``seed + phase``, so
+        # (seed=4, phase=1) replayed (seed=5, phase=0)'s stream exactly.
+        spec = SyntheticSpec("a", 1 << 20, 0.9, 0.9, 10.0)
+        later_phase = list(phase_shift_trace(
+            spec, spec, n_per_phase=200, phases=2, seed=4))[200:]
+        first_phase = list(phase_shift_trace(
+            spec, spec, n_per_phase=200, phases=1, seed=5))
+        assert later_phase != first_phase
+
+    def test_phase_shift_deterministic(self):
+        a = SyntheticSpec("a", 1 << 20, 0.9, 0.9, 10.0)
+        b = SyntheticSpec("b", 1 << 20, 0.1, 0.1, 10.0)
+        first = list(phase_shift_trace(a, b, n_per_phase=50, phases=3))
+        again = list(phase_shift_trace(a, b, n_per_phase=50, phases=3))
+        assert first == again
+
+    def test_derive_seed_mixes_all_parts(self):
+        from repro.traces import derive_seed
+        assert derive_seed("x", 4, 1) != derive_seed("x", 5, 0)
+        assert derive_seed("x", 4, 1) == derive_seed("x", 4, 1)
+        assert derive_seed("a", 1) != derive_seed("b", 1)
+
 
 class TestSpecCatalogue:
     def test_fourteen_benchmarks(self):
