@@ -18,7 +18,12 @@ from .report import (
     format_overheads,
     format_table2,
 )
-from .campaign import Campaign, run_campaign
+from .campaign import (
+    Campaign,
+    CampaignInterrupted,
+    QuarantinedCell,
+    run_campaign,
+)
 from .parallel import resolve_jobs, run_bumblebee_cells, run_design_cells
 from .resultcache import ResultCache, default_cache_dir
 from .devices import (
@@ -96,6 +101,8 @@ __all__ = [
     "controller_device_reports",
     "format_device_reports",
     "Campaign",
+    "CampaignInterrupted",
+    "QuarantinedCell",
     "run_campaign",
     "ResultCache",
     "default_cache_dir",

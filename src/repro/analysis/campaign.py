@@ -27,18 +27,70 @@ The ``timing`` block is observability only — the wall-time split
 between trace generation and simulation for the cell, plus the cell's
 trace-cache counter deltas, measured in whichever process computed it.
 It never participates in result comparisons (it differs run to run by
-nature) and older records without it still load.
+nature) and older records without it still load.  Constructing the
+campaign with ``record_timing=False`` omits the block entirely, which
+makes the file fully deterministic: a killed-and-resumed campaign is
+then *byte-identical* to an uninterrupted one (the property the chaos
+harness pins down).
+
+Crash safety: records are appended through a
+:class:`~repro.resilience.checkpoint.CheckpointWriter` (fsync'd, order
+preserving, ENOSPC/EIO absorbed into a pending buffer), emission is in
+deterministic cell order regardless of worker completion order, and a
+torn tail left by a kill is detected, dropped, and compacted on load —
+so at every instant the file is a clean prefix of the uninterrupted
+run and ``repro campaign --resume`` completes exactly the remainder.
+A SIGTERM or Ctrl-C during :meth:`Campaign.run` raises
+:class:`CampaignInterrupted` *after* flushing completed cells, carrying
+the resume hint.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import signal
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from ..resilience.checkpoint import CheckpointWriter, recover_jsonl
 from .experiments import ExperimentHarness
 from .metrics import WorkloadComparison
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """A campaign stopped by SIGINT/SIGTERM after flushing its state.
+
+    Subclasses :class:`KeyboardInterrupt` so generic ``except
+    Exception`` recovery code never swallows it, while the CLI can
+    catch it specifically to print the resume hint.
+
+    Attributes:
+        path: The campaign file holding the persisted prefix.
+        completed: Cells safely on disk at the moment of interruption.
+    """
+
+    def __init__(self, path: Path, completed: int) -> None:
+        super().__init__(
+            f"campaign interrupted: {completed} cells persisted in "
+            f"{path}; re-run (or use --resume) to continue")
+        self.path = path
+        self.completed = completed
+
+
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """One cell the supervisor gave up on, with its failure history."""
+
+    design: str
+    workload: str
+    attempts: tuple[str, ...]
+
+    def render(self) -> str:
+        """One ``[SKIP]`` report line (validation-report style)."""
+        return (f"[SKIP] {self.design}::{self.workload}: "
+                f"{self.attempts[-1]} ({len(self.attempts)} attempts)")
 
 
 def _cell_key(design: str, workload: str) -> str:
@@ -61,7 +113,10 @@ def _load_records(text: str) -> list[dict]:
     """Records from campaign file content, legacy JSON array or JSONL.
 
     A truncated trailing JSONL line (interrupted write) is skipped; the
-    campaign recomputes that cell.
+    campaign recomputes that cell.  (Kept for callers holding text; the
+    campaign itself loads through
+    :func:`~repro.resilience.checkpoint.recover_jsonl`, which also
+    repairs the file on disk.)
     """
     stripped = text.lstrip()
     if not stripped:
@@ -86,19 +141,38 @@ class Campaign:
     Args:
         harness: The shared experiment harness.
         path: JSONL file holding the accumulated records (legacy JSON
-            array files are read and migrated transparently).
+            array files are read and migrated transparently; torn or
+            corrupt lines are dropped and the file compacted — see
+            :attr:`recovered_lines`).
+        record_timing: Attach the per-cell ``timing`` observability
+            block (default).  Disable for byte-deterministic files —
+            an interrupted-and-resumed campaign then produces exactly
+            the bytes of an uninterrupted one.
+
+    Attributes:
+        quarantined: Cells a supervised run gave up on (skip-and-report;
+            they stay absent from the matrix and are retried by a
+            later resume).
+        recovered_lines: Damaged JSONL lines dropped while loading.
     """
 
     def __init__(self, harness: ExperimentHarness,
-                 path: str | Path) -> None:
+                 path: str | Path, record_timing: bool = True) -> None:
         self.harness = harness
         self.path = Path(path)
+        self.record_timing = record_timing
+        self.quarantined: list[QuarantinedCell] = []
+        self.recovered_lines = 0
         self._records: dict[str, dict] = {}
         self._needs_migration = False
+        self._writer = CheckpointWriter(self.path)
         if self.path.exists():
-            text = self.path.read_text()
-            self._needs_migration = text.lstrip().startswith("[")
-            for record in _load_records(text):
+            if self.path.read_text().lstrip().startswith("["):
+                self._needs_migration = True
+                records = _load_records(self.path.read_text())
+            else:
+                records, self.recovered_lines = recover_jsonl(self.path)
+            for record in records:
                 self._records[_cell_key(record["design"],
                                         record["workload"])] = record
 
@@ -106,16 +180,35 @@ class Campaign:
     def completed_cells(self) -> int:
         return len(self._records)
 
+    @property
+    def deferred_appends(self) -> int:
+        """Records still awaiting a successful checkpoint write."""
+        return len(self._writer.pending)
+
     def has(self, design: str, workload: str) -> bool:
         return _cell_key(design, workload) in self._records
 
     def run(self, designs: Sequence[str], workloads: Sequence[str],
-            jobs: int | None = 1) -> int:
+            jobs: int | None = 1, supervise=None) -> int:
         """Fill every missing cell; returns the number of new runs.
 
         ``jobs`` > 1 computes the missing cells on a process pool; the
         persisted records are bit-identical to a serial run.  Each cell
-        is appended to the campaign file as soon as it is adopted.
+        is appended (fsync'd) to the campaign file as soon as it — and
+        every cell before it in deterministic cell order — is adopted,
+        so a kill at any instant leaves a resumable prefix.
+
+        ``supervise`` (a
+        :class:`~repro.resilience.supervisor.Supervision`) runs the
+        missing cells under the supervised pool: hung workers are
+        timed out and respawned, crashed workers retried with
+        deterministic backoff, and persistently failing cells
+        quarantined into :attr:`quarantined` instead of aborting the
+        campaign.
+
+        SIGTERM/SIGINT interrupt the fill gracefully: completed cells
+        are flushed and :class:`CampaignInterrupted` is raised with a
+        resume hint.
         """
         from .parallel import run_design_cells
         missing = [(design, workload)
@@ -123,27 +216,58 @@ class Campaign:
                    if not self.has(design, workload)]
         if not missing:
             return 0
+        completed = 0
 
         def persist(design: str, workload: str,
                     comparison: WorkloadComparison) -> None:
+            nonlocal completed
             record = _comparison_record(comparison, self.harness)
-            record["timing"] = self.harness.cell_timing(design, workload)
-            self._records[_cell_key(design, workload)] = record
-            self._append(record)
+            if self.record_timing:
+                record["timing"] = self.harness.cell_timing(design,
+                                                            workload)
+            key = _cell_key(design, workload)
+            self._records[key] = record
+            self._append(record, tag=key)
+            completed += 1
 
-        run_design_cells(self.harness, missing, jobs=jobs,
-                         on_result=persist)
-        return len(missing)
+        def quarantine(design: str, workload: str, failure) -> None:
+            self.quarantined.append(QuarantinedCell(
+                design, workload, tuple(failure.attempts)))
 
-    def _append(self, record: dict) -> None:
+        def _sigterm(signum, frame):
+            raise KeyboardInterrupt
+
+        previous = None
+        try:
+            previous = signal.signal(signal.SIGTERM, _sigterm)
+        except ValueError:      # not the main thread
+            previous = None
+        try:
+            run_design_cells(self.harness, missing, jobs=jobs,
+                             on_result=persist, supervise=supervise,
+                             on_quarantine=quarantine)
+        except KeyboardInterrupt:
+            self._writer.flush_pending()
+            raise CampaignInterrupted(self.path,
+                                      self.completed_cells) from None
+        finally:
+            if previous is not None:
+                signal.signal(signal.SIGTERM, previous)
+            self._writer.flush_pending()
+        return completed
+
+    def render_quarantine(self) -> str:
+        """``[SKIP]`` report lines for every quarantined cell."""
+        return "\n".join(cell.render() for cell in self.quarantined)
+
+    def _append(self, record: dict, tag: str = "") -> None:
         """Append one record line (migrating a legacy file first)."""
         if self._needs_migration:
             self._needs_migration = False
-            existing = [r for r in self._records.values() if r is not record]
-            self.path.write_text(
-                "".join(json.dumps(r) + "\n" for r in existing))
-        with self.path.open("a") as handle:
-            handle.write(json.dumps(record) + "\n")
+            existing = [r for r in self._records.values()
+                        if r is not record]
+            self._writer.rewrite(existing)
+        self._writer.append(record, tag=tag)
 
     # ---- views ----------------------------------------------------------
 
@@ -199,8 +323,10 @@ class Campaign:
 def run_campaign(harness: ExperimentHarness, path: str | Path,
                  designs: Sequence[str],
                  workloads: Sequence[str],
-                 jobs: int | None = 1) -> Campaign:
+                 jobs: int | None = 1,
+                 supervise=None,
+                 record_timing: bool = True) -> Campaign:
     """Convenience wrapper: open (or resume) and fill a campaign."""
-    campaign = Campaign(harness, path)
-    campaign.run(designs, workloads, jobs=jobs)
+    campaign = Campaign(harness, path, record_timing=record_timing)
+    campaign.run(designs, workloads, jobs=jobs, supervise=supervise)
     return campaign

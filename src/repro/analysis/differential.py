@@ -231,6 +231,7 @@ def run_differential(designs: Sequence[str] | None = None,
                      scale: SystemScale = DIFFERENTIAL_SCALE,
                      out_dir: str | Path = "sanitize-failures",
                      shrink_budget: int = 60,
+                     shrink_seconds: "float | None" = 120.0,
                      progress: Callable[[str], None] | None = None
                      ) -> DifferentialReport:
     """Cross-check every (design, seed) pair on all execution paths.
@@ -252,6 +253,8 @@ def run_differential(designs: Sequence[str] | None = None,
         out_dir: Where failing reproducers are written.
         shrink_budget: Max predicate evaluations spent shrinking one
             failing case (each evaluation re-simulates three paths).
+        shrink_seconds: Wall-clock budget per shrink; on expiry the
+            best-so-far reduction is persisted (None = no time bound).
         progress: Optional per-case sink (e.g. ``print``).
     """
     designs = list(designs) if designs else list(SANITIZE_DESIGNS)
@@ -276,7 +279,8 @@ def run_differential(designs: Sequence[str] | None = None,
             if not case.passed:
                 case.reproducer = str(_shrink_and_write(
                     design, seed, trace, case, hbm_config, dram_config,
-                    warmup, epoch_requests, Path(out_dir), shrink_budget))
+                    warmup, epoch_requests, Path(out_dir), shrink_budget,
+                    shrink_seconds))
             cases.append(case)
             if progress is not None:
                 status = "ok" if case.passed else "FAIL"
@@ -291,7 +295,8 @@ def _shrink_and_write(design: str, seed: int, trace: PackedTrace,
                       case: DiffCase, hbm_config: DeviceConfig,
                       dram_config: DeviceConfig, warmup: int,
                       epoch_requests: int, out_dir: Path,
-                      shrink_budget: int) -> Path:
+                      shrink_budget: int,
+                      shrink_seconds: "float | None" = None) -> Path:
     """Shrink a failing case and persist the minimal reproducer."""
     # Shrinking below the warm-up length is impossible while the
     # boundary reset participates, so prefer reproducing without it.
@@ -303,7 +308,7 @@ def _shrink_and_write(design: str, seed: int, trace: PackedTrace,
         trace,
         lambda t: _case_fails(design, t, hbm_config, dram_config,
                               shrink_warmup, epoch_requests),
-        max_tests=shrink_budget)
+        max_tests=shrink_budget, max_seconds=shrink_seconds)
     path = out_dir / f"{_safe_name(design)}_seed{seed}.repro.trace"
     write_reproducer(path, minimal, {
         "design": design,

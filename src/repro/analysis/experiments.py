@@ -23,6 +23,7 @@ Benchmarks under ``benchmarks/`` are thin wrappers over these methods.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -169,6 +170,24 @@ class ExperimentHarness:
             dram=dataclasses.asdict(dram_config),
             **self._key_fields(workload))
 
+    def cache_put(self, key: str, record) -> None:
+        """Store into the persistent cache, degrading gracefully.
+
+        A full or failing disk must never abort a campaign: the cache
+        is an accelerator, not a correctness dependency, so the first
+        ``OSError`` on a write disables it for the rest of this
+        harness's life (with a warning on stderr) and simulation
+        continues uncached.
+        """
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(key, record)
+        except OSError as exc:
+            print(f"warning: result cache disabled after write "
+                  f"failure: {exc}", file=sys.stderr)
+            self.cache = None
+
     def cached_comparison(self, design: str,
                           workload: str) -> WorkloadComparison | None:
         """The cell's comparison from memory or the persistent cache.
@@ -198,7 +217,7 @@ class ExperimentHarness:
         comparison = WorkloadComparison(**record)
         self._comparisons[(design, workload)] = comparison
         if self.cache is not None:
-            self.cache.put(self._comparison_key(design, workload), record)
+            self.cache_put(self._comparison_key(design, workload), record)
         return comparison
 
     def _packed_trace(self, spec, n: int) -> PackedTrace:
@@ -260,7 +279,7 @@ class ExperimentHarness:
                 warmup=self.config.warmup)
             self._baselines[workload] = result
             if key is not None:
-                self.cache.put(key, result.to_record())
+                self.cache_put(key, result.to_record())
         return self._baselines[workload]
 
     def _timing_start(self) -> tuple:
@@ -323,7 +342,7 @@ class ExperimentHarness:
         comparison = compare(result, self.baseline(workload))
         self._comparisons[(design, workload)] = comparison
         if self.cache is not None:
-            self.cache.put(self._comparison_key(design, workload),
+            self.cache_put(self._comparison_key(design, workload),
                            dataclasses.asdict(comparison))
         self._record_timing(design, workload, snapshot)
         return comparison
@@ -353,7 +372,7 @@ class ExperimentHarness:
                                  warmup=self.config.warmup)
         comparison = compare(result, self.baseline(workload))
         if key is not None:
-            self.cache.put(key, dataclasses.asdict(comparison))
+            self.cache_put(key, dataclasses.asdict(comparison))
         self._record_timing(name, workload, snapshot)
         return comparison
 

@@ -26,6 +26,20 @@ plus the cell's timing record; the parent harness re-adopts them
 through :meth:`ExperimentHarness.absorb_comparison` /
 :meth:`ExperimentHarness.adopt_timing`, which also feed the persistent
 result cache when one is configured.
+
+``on_result`` consumers (the campaign's checkpoint) are fed
+*incrementally and in deterministic cell order*: as soon as every cell
+up to position *n* of the unique-cell list has resolved, those cells
+are emitted — regardless of which worker finished first — so an
+interrupted run has persisted a clean, order-stable prefix of the
+uninterrupted run.
+
+Passing ``supervise=``\\ :class:`~repro.resilience.supervisor.Supervision`
+routes the missing cells through the supervised pool instead of a bare
+``ProcessPoolExecutor``: per-cell wall-clock timeouts, bounded retries
+with deterministic backoff, dead-worker respawn, and quarantine of
+persistently failing cells (reported through ``on_quarantine``, never
+an exception — one poisoned cell cannot abort a campaign).
 """
 
 from __future__ import annotations
@@ -118,27 +132,58 @@ def run_design_cells(
         jobs: int | None = 1,
         on_result: "Callable[[str, str, WorkloadComparison], None] | None"
         = None,
+        supervise=None,
+        on_quarantine: "Callable[[str, str, object], None] | None" = None,
 ) -> "list[WorkloadComparison]":
     """Fill (design, workload) cells, optionally across processes.
 
     Already-known cells (harness memory or persistent cache) are reused;
-    the rest run serially (``jobs`` <= 1) or on a process pool.  Results
-    are bit-identical either way.
+    the rest run serially (``jobs`` <= 1), on a process pool, or — with
+    ``supervise`` — on the supervised pool.  Results are bit-identical
+    whichever way they were computed.
 
     Args:
         harness: The parent harness that adopts every result.
         cells: (design, workload) pairs; duplicates are collapsed.
         jobs: Worker processes (0/None = all cores, 1 = in-process).
-        on_result: Invoked once per unique cell, in cell order, with
-            (design, workload, comparison) — the campaign uses this for
-            incremental persistence.
+        on_result: Invoked once per resolved unique cell, in cell
+            order, with (design, workload, comparison).  Emission is
+            incremental: a cell is emitted as soon as it and every cell
+            before it have resolved — the campaign uses this for
+            crash-safe prefix persistence.
+        supervise: A :class:`~repro.resilience.supervisor.Supervision`
+            policy; when given, missing cells run under supervision
+            (timeouts, retries, quarantine) even at ``jobs=1``.
+        on_quarantine: Invoked with (design, workload,
+            :class:`~repro.resilience.supervisor.CellFailure`) for each
+            cell the supervisor gave up on; such cells are skipped, not
+            raised, and excluded from the returned list.
 
     Returns:
-        One comparison per unique cell, in first-appearance order.
+        One comparison per unique resolved cell, in first-appearance
+        order (quarantined cells are absent).
     """
     unique = list(dict.fromkeys(tuple(cell) for cell in cells))
     jobs = resolve_jobs(jobs)
     known: dict[tuple, WorkloadComparison] = {}
+    skipped: set[tuple] = set()
+    emitted = 0
+
+    def flush() -> None:
+        """Emit the longest fully-resolved prefix of ``unique``."""
+        nonlocal emitted
+        while emitted < len(unique):
+            cell = unique[emitted]
+            if cell in skipped:
+                emitted += 1
+                continue
+            comparison = known.get(cell)
+            if comparison is None:
+                break
+            if on_result is not None:
+                on_result(cell[0], cell[1], comparison)
+            emitted += 1
+
     todo = []
     for cell in unique:
         cached = harness.cached_comparison(*cell)
@@ -147,10 +192,14 @@ def run_design_cells(
         else:
             todo.append(cell)
     if todo:
-        if jobs <= 1 or len(todo) == 1:
+        if supervise is not None:
+            _run_supervised_cells(harness, todo, jobs, supervise, known,
+                                  skipped, flush, on_quarantine)
+        elif jobs <= 1 or len(todo) == 1:
             for design, workload in todo:
                 known[(design, workload)] = harness.run_design(design,
                                                                workload)
+                flush()
         else:
             # Workload-major order: consecutive cells of one chunk share
             # a trace and baseline inside their worker.
@@ -158,17 +207,54 @@ def run_design_cells(
             cache_root = _cache_root(harness)
             tasks = [(harness.config, cache_root, design, workload)
                      for design, workload in ordered]
-            outcomes = _chunked_map(_design_cell, tasks, jobs)
-            for (design, workload), (record, timing) in zip(ordered,
-                                                            outcomes):
-                known[(design, workload)] = harness.absorb_comparison(
-                    design, workload, record)
-                harness.adopt_timing(design, workload, timing)
-    results = [known[cell] for cell in unique]
-    if on_result is not None:
-        for cell, comparison in zip(unique, results):
-            on_result(cell[0], cell[1], comparison)
-    return results
+            workers = min(jobs, len(tasks))
+            chunksize = -(-len(tasks) // workers)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for (design, workload), (record, timing) in zip(
+                        ordered,
+                        pool.map(_design_cell, tasks,
+                                 chunksize=chunksize)):
+                    known[(design, workload)] = harness.absorb_comparison(
+                        design, workload, record)
+                    harness.adopt_timing(design, workload, timing)
+                    flush()
+    flush()
+    return [known[cell] for cell in unique if cell in known]
+
+
+def _run_supervised_cells(harness: ExperimentHarness, todo: list,
+                          jobs: int, supervise, known: dict,
+                          skipped: set, flush: Callable[[], None],
+                          on_quarantine) -> None:
+    """Fan ``todo`` cells over the supervised pool, adopting results
+    (and quarantines) incrementally as they land."""
+    # Imported lazily: repro.analysis must stay importable without
+    # triggering the resilience package (and vice versa).
+    from ..resilience.supervisor import run_supervised
+    cache_root = _cache_root(harness)
+    by_key = {f"{design}::{workload}": (design, workload)
+              for design, workload in todo}
+    tasks = [(f"{design}::{workload}",
+              (harness.config, cache_root, design, workload))
+             for design, workload in todo]
+
+    def complete(key: str, outcome: tuple) -> None:
+        design, workload = by_key[key]
+        record, timing = outcome
+        known[(design, workload)] = harness.absorb_comparison(
+            design, workload, record)
+        harness.adopt_timing(design, workload, timing)
+        flush()
+
+    def quarantine(key: str, failure) -> None:
+        cell = by_key[key]
+        skipped.add(cell)
+        flush()
+        if on_quarantine is not None:
+            on_quarantine(cell[0], cell[1], failure)
+
+    run_supervised(_design_cell, tasks, jobs=jobs, policy=supervise,
+                   on_complete=complete, on_quarantine=quarantine)
 
 
 def run_bumblebee_cells(
@@ -231,5 +317,5 @@ def run_bumblebee_cells(
                 known[cell] = WorkloadComparison(**record)
                 harness.adopt_timing(cell[2], cell[1], timing)
                 if harness.cache is not None:
-                    harness.cache.put(cache_key(cell), record)
+                    harness.cache_put(cache_key(cell), record)
     return [known[tuple(cell)] for cell in cells]

@@ -17,9 +17,11 @@ knobs, workload spec, scale, window, seed, and the package version), so
 
 Entries are single JSON files under the cache root (default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bumblebee``), written
-atomically so a crashed run never leaves a half-written record behind.
-JSON round-trips Python floats exactly (shortest-round-trip repr), so a
-cached record is bit-identical to the freshly computed one.
+atomically *and durably* (temp file + fsync + rename + directory
+fsync) so a crashed run — or a crashed machine — never leaves a
+half-written record behind.  JSON round-trips Python floats exactly
+(shortest-round-trip repr), so a cached record is bit-identical to the
+freshly computed one.
 """
 
 from __future__ import annotations
@@ -30,6 +32,8 @@ import os
 import tempfile
 from pathlib import Path
 from typing import Any, Callable
+
+from ..resilience.checkpoint import fsync_dir
 
 
 def default_cache_dir() -> Path:
@@ -117,9 +121,11 @@ class ResultCache:
     def put(self, key: str, record: Any) -> None:
         """Store ``record`` (JSON-serialisable) under ``key``.
 
-        The write is atomic (temp file + rename): concurrent writers of
-        the same key are both writing identical content, and readers
-        never observe a partial file.
+        The write is atomic (temp file + rename) and durable (file and
+        directory fsync'd): concurrent writers of the same key are both
+        writing identical content, readers never observe a partial
+        file, and a machine crash right after return cannot lose the
+        entry.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         digest = hashlib.sha256(
@@ -129,6 +135,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -136,6 +144,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        fsync_dir(self.root)
 
     def get_or_compute(self, key: str,
                        compute: Callable[[], Any]) -> Any:

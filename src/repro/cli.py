@@ -164,12 +164,51 @@ def cmd_metadata(args: argparse.Namespace) -> int:
     return 0
 
 
+def _supervision(args: argparse.Namespace):
+    """The Supervision policy the campaign flags ask for, or None.
+
+    Supervision engages when any of ``--supervise``, ``--timeout``,
+    ``--retries``, or ``--backoff`` is given; its deterministic jitter
+    is rooted at the experiment seed.
+    """
+    if not (args.supervise or args.timeout is not None
+            or args.retries is not None or args.backoff is not None):
+        return None
+    from .resilience import Supervision
+    return Supervision(
+        timeout_s=args.timeout,
+        max_attempts=(args.retries if args.retries is not None else 2) + 1,
+        backoff_base_s=(args.backoff if args.backoff is not None
+                        else 0.05),
+        seed=args.seed)
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Fill (or resume) a persisted design x workload result matrix."""
-    from .analysis import Campaign
+    from pathlib import Path
+
+    from .analysis import Campaign, CampaignInterrupted
+    if args.resume and not Path(args.out).exists():
+        print(f"--resume: no campaign file at {args.out}",
+              file=sys.stderr)
+        return 2
     harness = _harness(args, args.workloads)
     campaign = Campaign(harness, args.out)
-    new_runs = campaign.run(args.designs, args.workloads, jobs=args.jobs)
+    if campaign.recovered_lines:
+        print(f"recovered campaign file: {campaign.recovered_lines} "
+              f"damaged line(s) dropped and compacted")
+    if args.resume:
+        print(f"resuming: {campaign.completed_cells} cells already "
+              f"complete in {args.out}")
+    try:
+        new_runs = campaign.run(args.designs, args.workloads,
+                                jobs=args.jobs,
+                                supervise=_supervision(args))
+    except CampaignInterrupted as interrupted:
+        print(f"interrupted: {interrupted.completed} cells persisted in "
+              f"{interrupted.path}; rerun with --resume to continue",
+              file=sys.stderr)
+        return 130
     print(f"campaign: {campaign.completed_cells} cells complete "
           f"({new_runs} new) -> {args.out}")
     timing = campaign.timing_summary()
@@ -185,6 +224,10 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(line)
     print()
     print(campaign.render(args.metric))
+    if campaign.quarantined:
+        print()
+        print(campaign.render_quarantine())
+        return 4
     return 0
 
 
@@ -225,6 +268,23 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
         out_dir=args.out_dir,
         progress=(lambda line: print(line, flush=True))
         if args.verbose else None)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded fault-injection sweep; exit 1 on any failed scenario."""
+    from .resilience.chaos import run_chaos
+    try:
+        report = run_chaos(
+            scenarios=args.scenarios, seed=args.seed, jobs=args.jobs,
+            requests=args.requests, warmup=args.warmup,
+            out_dir=args.out_dir,
+            progress=(lambda line: print(line, flush=True))
+            if args.verbose else None)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
     print(report.render())
     return 0 if report.passed else 1
 
@@ -301,6 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workloads", nargs="+",
                           default=["mcf", "wrf", "xz", "roms"])
     campaign.add_argument("--metric", default="norm_ipc")
+    campaign.add_argument("--resume", action="store_true",
+                          help="require an existing campaign file and "
+                               "run only the missing cells")
+    campaign.add_argument("--supervise", action="store_true",
+                          help="run cells under the supervised pool "
+                               "(crash retry, quarantine) with default "
+                               "policy")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          metavar="S",
+                          help="per-cell wall-clock limit; a wedged "
+                               "worker is killed and the cell retried "
+                               "(implies --supervise)")
+    campaign.add_argument("--retries", type=int, default=None,
+                          metavar="N",
+                          help="retries per failing cell before "
+                               "quarantine (default 2; implies "
+                               "--supervise)")
+    campaign.add_argument("--backoff", type=float, default=None,
+                          metavar="S",
+                          help="base retry delay, doubled per attempt "
+                               "with deterministic jitter (implies "
+                               "--supervise)")
     _add_window_args(campaign)
     _add_scaling_args(campaign)
     campaign.set_defaults(func=cmd_campaign)
@@ -329,6 +411,26 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--verbose", action="store_true",
                           help="print one line per case as it completes")
     sanitize.set_defaults(func=cmd_sanitize)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep; exit 1 on failure")
+    chaos.add_argument("--scenarios", nargs="+", default=None,
+                       help="scenario names (default: the full sweep)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="root of every injected-fault decision")
+    chaos.add_argument("--jobs", type=_jobs_arg, default=2,
+                       help="supervised workers in crash/hang scenarios")
+    chaos.add_argument("--requests", type=int, default=1200,
+                       help="measured misses per scenario campaign")
+    chaos.add_argument("--warmup", type=int, default=300,
+                       help="warm-up misses per scenario campaign")
+    chaos.add_argument("--out-dir", default="chaos-artifacts",
+                       help="where campaign files and corrupted cache "
+                            "trees are kept for post-mortem")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print one line per scenario as it completes")
+    chaos.set_defaults(func=cmd_chaos)
 
     mix = sub.add_parser("mix", help="run a multi-programmed mix")
     mix.add_argument("--preset", default="mix-fig1",

@@ -1,0 +1,55 @@
+"""Resilient campaign runtime: survive crashes, hangs, and bad disks.
+
+PR 3's sanitizer gave the simulator *detection*; this package gives
+campaigns *survival*:
+
+* :mod:`~repro.resilience.supervisor` — a supervised worker pool with
+  per-cell timeouts, bounded retries with deterministic backoff,
+  dead-worker respawn, and quarantine of persistently failing cells;
+* :mod:`~repro.resilience.checkpoint` — fsync'd JSONL appends, torn-
+  tail recovery, and write-failure absorption for crash-safe
+  checkpoint/resume;
+* :mod:`~repro.resilience.faults` — deterministic fault injection
+  (worker crashes/hangs, checkpoint ENOSPC/EIO, on-disk corruption);
+* :mod:`~repro.resilience.chaos` — the seeded scenario harness behind
+  ``repro chaos`` that proves all of the above end to end (imported
+  lazily; it depends on :mod:`repro.analysis`).
+"""
+
+from .checkpoint import (
+    CheckpointWriter,
+    atomic_write_bytes,
+    fsync_dir,
+    recover_jsonl,
+)
+from .faults import (
+    CHAOS_ENV,
+    CRASH_EXIT,
+    FaultInjector,
+    FaultSpec,
+    corrupt_file,
+    corrupt_tree,
+)
+from .supervisor import (
+    CellFailure,
+    Supervision,
+    backoff_delay,
+    run_supervised,
+)
+
+__all__ = [
+    "CheckpointWriter",
+    "atomic_write_bytes",
+    "fsync_dir",
+    "recover_jsonl",
+    "CHAOS_ENV",
+    "CRASH_EXIT",
+    "FaultInjector",
+    "FaultSpec",
+    "corrupt_file",
+    "corrupt_tree",
+    "CellFailure",
+    "Supervision",
+    "backoff_delay",
+    "run_supervised",
+]

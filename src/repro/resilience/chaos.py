@@ -1,0 +1,443 @@
+"""Chaos harness: prove the resilience machinery under injected faults.
+
+Each scenario runs a real (small) campaign while deterministically
+breaking something — workers crash or hang, cache entries rot on disk,
+checkpoint writes hit ENOSPC, the whole process is SIGKILL'd — and then
+checks the survival contract: every recoverable cell is present,
+quarantined cells are reported, and the campaign file ends up
+**byte-identical** to an uninterrupted reference run (timing-free
+records, deterministic cell order).
+
+All fault decisions derive from the sweep seed through
+:mod:`~repro.resilience.faults`, so a failing scenario reproduces
+exactly; artifacts (campaign JSONL files, cache trees) are left under
+``out_dir`` for post-mortem, same spirit as the differential harness's
+reproducer files.
+
+Entry points: :func:`run_chaos` (library) and the ``repro chaos`` CLI
+subcommand.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..analysis.campaign import Campaign
+from ..analysis.experiments import ExperimentConfig, ExperimentHarness
+from ..analysis.resultcache import ResultCache
+from . import faults
+from .checkpoint import recover_jsonl
+from .supervisor import Supervision
+
+#: The (small) campaign every scenario runs.
+CHAOS_DESIGNS = ("Bumblebee", "Banshee")
+CHAOS_WORKLOADS = ("leela", "mcf")
+
+#: Scenario order of a full sweep.
+DEFAULT_SCENARIOS = ("crash", "hang", "quarantine", "corrupt-resultcache",
+                     "corrupt-tracecache", "checkpoint-io", "torn-tail",
+                     "kill-resume")
+
+
+@dataclass
+class ChaosCase:
+    """Outcome of one chaos scenario."""
+
+    scenario: str
+    passed: bool
+    detail: str
+    artifact: str | None = None
+
+
+@dataclass
+class ChaosReport:
+    """All cases of one chaos sweep."""
+
+    cases: list[ChaosCase]
+    seed: int
+
+    @property
+    def passed(self) -> bool:
+        """True when every scenario passed."""
+        return all(case.passed for case in self.cases)
+
+    def render(self) -> str:
+        """A human-readable summary, one line per scenario."""
+        lines = []
+        for case in self.cases:
+            status = "ok" if case.passed else "FAIL"
+            line = f"[{status}] {case.scenario:<20} {case.detail}"
+            if not case.passed and case.artifact:
+                line += f" (artifact: {case.artifact})"
+            lines.append(line)
+        verdict = ("all scenarios passed" if self.passed
+                   else f"{sum(not c.passed for c in self.cases)} "
+                        f"scenario(s) FAILED")
+        lines.append(f"{len(self.cases)} scenarios, seed {self.seed}: "
+                     f"{verdict}")
+        return "\n".join(lines)
+
+
+class _Sweep:
+    """Shared state of one chaos sweep: dirs, reference bytes, knobs."""
+
+    def __init__(self, seed: int, jobs: int, requests: int, warmup: int,
+                 out_dir: Path) -> None:
+        self.seed = seed
+        self.jobs = jobs
+        self.requests = requests
+        self.warmup = warmup
+        self.out_dir = out_dir
+        # One shared trace cache keeps the sweep fast (each workload is
+        # synthesised once); the corrupt-tracecache scenario uses its
+        # own private store instead.
+        self.trace_cache = str(out_dir / "shared-tracecache")
+        self.reference = self._reference_bytes()
+
+    def harness(self, cache_dir: "str | None" = None,
+                trace_cache: "str | None" = None) -> ExperimentHarness:
+        """A fresh harness (no warm in-memory state)."""
+        config = ExperimentConfig(
+            requests=self.requests, warmup=self.warmup,
+            workloads=CHAOS_WORKLOADS,
+            trace_cache_dir=(trace_cache if trace_cache is not None
+                             else self.trace_cache))
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        return ExperimentHarness(config, cache=cache)
+
+    def campaign_path(self, scenario: str) -> Path:
+        path = self.out_dir / f"{scenario}.jsonl"
+        path.unlink(missing_ok=True)
+        return path
+
+    def _reference_bytes(self) -> bytes:
+        """The uninterrupted, fault-free serial run every scenario must
+        reproduce byte for byte."""
+        path = self.campaign_path("reference")
+        Campaign(self.harness(), path, record_timing=False).run(
+            CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=1)
+        return path.read_bytes()
+
+    def supervision(self, timeout_s: "float | None" = None,
+                    max_attempts: int = 4) -> Supervision:
+        return Supervision(timeout_s=timeout_s,
+                           max_attempts=max_attempts,
+                           backoff_base_s=0.01, backoff_cap_s=0.1,
+                           seed=self.seed)
+
+
+def _with_chaos_env(spec: faults.FaultSpec,
+                    action: Callable[[], None]) -> None:
+    """Run ``action`` with ``$REPRO_CHAOS`` set (workers inherit it)."""
+    previous = os.environ.get(faults.CHAOS_ENV)
+    os.environ[faults.CHAOS_ENV] = spec.to_env()
+    try:
+        action()
+    finally:
+        if previous is None:
+            os.environ.pop(faults.CHAOS_ENV, None)
+        else:
+            os.environ[faults.CHAOS_ENV] = previous
+
+
+def _verdict(sweep: _Sweep, scenario: str, path: Path,
+             detail: str, expect: "bytes | None" = None) -> ChaosCase:
+    """Compare the campaign file against the reference bytes."""
+    expect = sweep.reference if expect is None else expect
+    actual = path.read_bytes() if path.exists() else b""
+    if actual == expect:
+        return ChaosCase(scenario, True, detail)
+    return ChaosCase(
+        scenario, False,
+        f"{detail}; campaign file diverges from reference "
+        f"({len(actual)} vs {len(expect)} bytes)", artifact=str(path))
+
+
+def _scenario_crash(sweep: _Sweep) -> ChaosCase:
+    """Every cell's first attempt dies mid-run; retries must heal all."""
+    path = sweep.campaign_path("crash")
+    spec = faults.FaultSpec(seed=sweep.seed, crash=1.0, once=True)
+    campaign = Campaign(sweep.harness(), path, record_timing=False)
+    _with_chaos_env(spec, lambda: campaign.run(
+        CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=sweep.jobs,
+        supervise=sweep.supervision()))
+    cells = len(CHAOS_DESIGNS) * len(CHAOS_WORKLOADS)
+    detail = (f"{cells} cells, every first attempt crashed "
+              f"(exit {faults.CRASH_EXIT}), "
+              f"{len(campaign.quarantined)} quarantined")
+    if campaign.quarantined:
+        return ChaosCase("crash", False, detail, artifact=str(path))
+    return _verdict(sweep, "crash", path, detail)
+
+
+def _scenario_hang(sweep: _Sweep) -> ChaosCase:
+    """Every cell's first attempt wedges; timeouts must reclaim them."""
+    path = sweep.campaign_path("hang")
+    spec = faults.FaultSpec(seed=sweep.seed, hang=1.0, hang_s=30.0,
+                            once=True)
+    campaign = Campaign(sweep.harness(), path, record_timing=False)
+    _with_chaos_env(spec, lambda: campaign.run(
+        CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=sweep.jobs,
+        supervise=sweep.supervision(timeout_s=2.0)))
+    detail = ("every first attempt hung 30s, 2s timeout killed and "
+              f"respawned workers, {len(campaign.quarantined)} "
+              "quarantined")
+    if campaign.quarantined:
+        return ChaosCase("hang", False, detail, artifact=str(path))
+    return _verdict(sweep, "hang", path, detail)
+
+
+def _scenario_quarantine(sweep: _Sweep) -> ChaosCase:
+    """One cell fails every attempt: it must be skipped and reported,
+    never abort the rest of the campaign."""
+    path = sweep.campaign_path("quarantine")
+    poisoned = f"{CHAOS_DESIGNS[-1]}::{CHAOS_WORKLOADS[-1]}"
+    spec = faults.FaultSpec(seed=sweep.seed, crash=1.0, match=poisoned)
+    campaign = Campaign(sweep.harness(), path, record_timing=False)
+    _with_chaos_env(spec, lambda: campaign.run(
+        CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=sweep.jobs,
+        supervise=sweep.supervision(max_attempts=3)))
+    names = [f"{q.design}::{q.workload}" for q in campaign.quarantined]
+    if names != [poisoned]:
+        return ChaosCase("quarantine", False,
+                         f"expected [{poisoned}] quarantined, got "
+                         f"{names}", artifact=str(path))
+    expected = b"".join(
+        line + b"\n" for line in sweep.reference.splitlines()
+        if f'"{CHAOS_DESIGNS[-1]}"'.encode() not in line
+        or f'"{CHAOS_WORKLOADS[-1]}"'.encode() not in line)
+    detail = (f"{poisoned} crashed on all 3 attempts -> quarantined "
+              f"([SKIP] reported), other cells completed")
+    return _verdict(sweep, "quarantine", path, detail, expect=expected)
+
+
+def _scenario_corrupt_resultcache(sweep: _Sweep) -> ChaosCase:
+    """Bit-rot in every result-cache entry must be healed by
+    recomputation, never surfaced."""
+    cache_dir = sweep.out_dir / "corrupt-resultcache-cache"
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    warm_path = sweep.campaign_path("corrupt-resultcache-warm")
+    Campaign(sweep.harness(cache_dir=str(cache_dir)), warm_path,
+             record_timing=False).run(CHAOS_DESIGNS, CHAOS_WORKLOADS,
+                                      jobs=1)
+    corrupted = faults.corrupt_tree(cache_dir, "*.json", seed=sweep.seed)
+    path = sweep.campaign_path("corrupt-resultcache")
+    campaign = Campaign(sweep.harness(cache_dir=str(cache_dir)), path,
+                        record_timing=False)
+    campaign.run(CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=1)
+    detail = (f"{corrupted} cache entries corrupted, all detected via "
+              f"digest mismatch and recomputed")
+    if corrupted == 0:
+        return ChaosCase("corrupt-resultcache", False,
+                         "no cache entries were written to corrupt")
+    return _verdict(sweep, "corrupt-resultcache", path, detail)
+
+
+def _scenario_corrupt_tracecache(sweep: _Sweep) -> ChaosCase:
+    """Corrupt/truncated packed-trace entries must be regenerated."""
+    cache_dir = sweep.out_dir / "corrupt-tracecache-cache"
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    warm_path = sweep.campaign_path("corrupt-tracecache-warm")
+    Campaign(sweep.harness(trace_cache=str(cache_dir)), warm_path,
+             record_timing=False).run(CHAOS_DESIGNS, CHAOS_WORKLOADS,
+                                      jobs=1)
+    flipped = faults.corrupt_tree(cache_dir, "*.trace", seed=sweep.seed,
+                                  mode="flip")
+    truncated = faults.corrupt_tree(cache_dir, "*.trace",
+                                    seed=sweep.seed + 1, mode="truncate")
+    path = sweep.campaign_path("corrupt-tracecache")
+    campaign = Campaign(sweep.harness(trace_cache=str(cache_dir)), path,
+                        record_timing=False)
+    campaign.run(CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=1)
+    detail = (f"{flipped} trace entries bit-flipped then {truncated} "
+              f"truncated, all regenerated bit-identically")
+    if flipped == 0:
+        return ChaosCase("corrupt-tracecache", False,
+                         "no trace entries were written to corrupt")
+    return _verdict(sweep, "corrupt-tracecache", path, detail)
+
+
+def _scenario_checkpoint_io(sweep: _Sweep) -> ChaosCase:
+    """Every checkpoint append fails (disk full) for the whole run;
+    records must survive in the pending buffer and flush once the
+    'disk' recovers — file intact, order preserved."""
+    path = sweep.campaign_path("checkpoint-io")
+    campaign = Campaign(sweep.harness(), path, record_timing=False)
+    faults.install(faults.FaultSpec(seed=sweep.seed, checkpoint=1.0))
+    try:
+        campaign.run(CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=1)
+        errors = campaign._writer.write_errors
+        deferred = campaign.deferred_appends
+    finally:
+        faults.uninstall()
+    flushed = campaign._writer.flush_pending()
+    detail = (f"{errors} ENOSPC/EIO append failures absorbed, "
+              f"{deferred} records held pending, all flushed after "
+              f"recovery")
+    if errors == 0 or deferred == 0 or not flushed:
+        return ChaosCase(
+            "checkpoint-io", False,
+            f"expected failing writes to defer records (errors="
+            f"{errors}, deferred={deferred}, flushed={flushed})",
+            artifact=str(path))
+    return _verdict(sweep, "checkpoint-io", path, detail)
+
+
+def _scenario_torn_tail(sweep: _Sweep) -> ChaosCase:
+    """A torn final line (kill mid-write) must be dropped, the file
+    compacted, and a re-run must recompute exactly that cell."""
+    path = sweep.campaign_path("torn-tail")
+    lines = sweep.reference.splitlines(keepends=True)
+    path.write_bytes(b"".join(lines[:-1]) + lines[-1][:17])
+    campaign = Campaign(sweep.harness(), path, record_timing=False)
+    if campaign.recovered_lines != 1:
+        return ChaosCase("torn-tail", False,
+                         f"expected 1 dropped line, got "
+                         f"{campaign.recovered_lines}",
+                         artifact=str(path))
+    campaign.run(CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=1)
+    detail = ("torn final line dropped and compacted on load, cell "
+              "recomputed on resume")
+    return _verdict(sweep, "torn-tail", path, detail)
+
+
+_KILL_SCRIPT = """
+import sys
+from repro.analysis.campaign import Campaign
+from repro.analysis.experiments import ExperimentConfig, ExperimentHarness
+from repro.resilience.supervisor import Supervision
+
+requests, warmup, path = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+config = ExperimentConfig(requests=requests, warmup=warmup,
+                          workloads={workloads!r},
+                          trace_cache_dir=sys.argv[4])
+campaign = Campaign(ExperimentHarness(config), path, record_timing=False)
+campaign.run({designs!r}, {workloads!r}, jobs=1,
+             supervise=Supervision(timeout_s=None, max_attempts=2))
+"""
+
+
+def kill_resume_case(sweep: _Sweep) -> ChaosCase:
+    """SIGKILL a campaign mid-flight; ``--resume`` must complete it to
+    a file byte-identical to the uninterrupted reference.
+
+    The kill point is made deterministic by hanging the *last* cell
+    via an injected fault: the first cells complete and checkpoint,
+    the campaign wedges, and the process is SIGKILL'd — the harshest
+    interruption (no handlers run, the supervised worker is orphaned
+    and self-reaps).
+    """
+    path = sweep.campaign_path("kill-resume")
+    poisoned = f"{CHAOS_DESIGNS[-1]}::{CHAOS_WORKLOADS[-1]}"
+    spec = faults.FaultSpec(seed=sweep.seed, hang=1.0, hang_s=120.0,
+                            match=poisoned)
+    env = dict(os.environ)
+    env[faults.CHAOS_ENV] = spec.to_env()
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    script = _KILL_SCRIPT.format(designs=tuple(CHAOS_DESIGNS),
+                                 workloads=tuple(CHAOS_WORKLOADS))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script, str(sweep.requests),
+         str(sweep.warmup), str(path), sweep.trace_cache], env=env)
+    target = len(CHAOS_DESIGNS) * len(CHAOS_WORKLOADS) - 1
+    killed_after = -1
+    try:
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                return ChaosCase(
+                    "kill-resume", False,
+                    f"campaign subprocess exited early "
+                    f"(code {proc.returncode}) instead of hanging",
+                    artifact=str(path))
+            if path.exists():
+                done = path.read_bytes().count(b"\n")
+                if done >= 1 and done >= target:
+                    break
+            time.sleep(0.05)
+        else:
+            return ChaosCase("kill-resume", False,
+                             "campaign subprocess never reached the "
+                             "hang cell", artifact=str(path))
+        killed_after = path.read_bytes().count(b"\n")
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+    records, dropped = recover_jsonl(path)
+    campaign = Campaign(sweep.harness(), path, record_timing=False)
+    campaign.run(CHAOS_DESIGNS, CHAOS_WORKLOADS, jobs=1)
+    detail = (f"SIGKILL'd after {killed_after} fsync'd cells "
+              f"({dropped} torn), resume recomputed the rest "
+              f"bit-identically")
+    return _verdict(sweep, "kill-resume", path, detail)
+
+
+_SCENARIOS: dict[str, Callable[[_Sweep], ChaosCase]] = {
+    "crash": _scenario_crash,
+    "hang": _scenario_hang,
+    "quarantine": _scenario_quarantine,
+    "corrupt-resultcache": _scenario_corrupt_resultcache,
+    "corrupt-tracecache": _scenario_corrupt_tracecache,
+    "checkpoint-io": _scenario_checkpoint_io,
+    "torn-tail": _scenario_torn_tail,
+    "kill-resume": kill_resume_case,
+}
+
+
+def run_chaos(scenarios: Sequence[str] | None = None,
+              seed: int = 0,
+              jobs: int = 2,
+              requests: int = 1200,
+              warmup: int = 300,
+              out_dir: str | Path = "chaos-artifacts",
+              progress: Callable[[str], None] | None = None
+              ) -> ChaosReport:
+    """Run the seeded fault-injection sweep.
+
+    Args:
+        scenarios: Scenario names (or None/["all"] for
+            :data:`DEFAULT_SCENARIOS`).
+        seed: Root of every injected-fault decision (reproducible).
+        jobs: Supervised workers for the crash/hang scenarios.
+        requests: Measured requests of each scenario campaign.
+        warmup: Warm-up requests of each scenario campaign.
+        out_dir: Artifact directory (campaign JSONLs, corrupted cache
+            trees) — kept for post-mortem, uploaded by CI on failure.
+        progress: Optional per-scenario sink (e.g. ``print``).
+
+    Raises:
+        KeyError: on an unknown scenario name.
+    """
+    chosen = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
+    if chosen == ["all"]:
+        chosen = list(DEFAULT_SCENARIOS)
+    unknown = [name for name in chosen if name not in _SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown chaos scenario(s): {', '.join(unknown)}; "
+                       f"valid: {', '.join(_SCENARIOS)}")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    sweep = _Sweep(seed=seed, jobs=jobs, requests=requests,
+                   warmup=warmup, out_dir=out_dir)
+    if progress is not None:
+        progress(f"reference campaign: "
+                 f"{len(sweep.reference.splitlines())} cells")
+    cases = []
+    for name in chosen:
+        case = _SCENARIOS[name](sweep)
+        cases.append(case)
+        if progress is not None:
+            status = "ok" if case.passed else "FAIL"
+            progress(f"[{status}] {name}: {case.detail}")
+    return ChaosReport(cases=cases, seed=seed)

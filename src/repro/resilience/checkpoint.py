@@ -1,0 +1,193 @@
+"""Crash-safe JSONL checkpointing: durable appends, torn-tail recovery.
+
+A campaign's JSONL file is its checkpoint: one fsync'd line per
+completed cell, appended in deterministic cell order, so at any kill
+point the file is a clean prefix of the uninterrupted run and a resume
+appends exactly the missing suffix — byte-identical to never having
+been interrupted (timing-free records; see
+:class:`~repro.analysis.campaign.Campaign`).
+
+Two failure modes are handled here:
+
+* **Torn tails.** A process killed mid-``write`` can leave a partial
+  final line (or, on a crashed kernel, arbitrary damaged lines).
+  :func:`recover_jsonl` parses what is valid, drops what is not, and
+  compacts the file atomically so the damage cannot compound.
+* **Failing writes.** ENOSPC/EIO on an append must not abort the
+  campaign or corrupt the file: :class:`CheckpointWriter` keeps the
+  record in a FIFO pending buffer and retries in order on every later
+  append (and on :meth:`CheckpointWriter.flush_pending`), so records
+  land on disk in the same order they would have without the failure —
+  graceful degradation, nothing lost while the process lives.
+
+The :mod:`~repro.resilience.faults` hook lets the chaos harness inject
+write failures deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from . import faults
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Best-effort fsync of a directory (durability of renames).
+
+    Silently ignored where directories cannot be opened or synced
+    (some filesystems / platforms); the rename itself is still atomic.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Replace ``path`` with ``data`` atomically and durably.
+
+    Temp file in the same directory, fsync, ``os.replace``, directory
+    fsync — readers never observe a partial file and the result
+    survives a crash immediately after return.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)
+
+
+def recover_jsonl(path: str | Path) -> tuple[list[dict], int]:
+    """Load a JSONL checkpoint, repairing any damage in place.
+
+    Every syntactically valid object line is kept; torn or corrupt
+    lines (interrupted appends, bit-rot) are dropped.  When anything
+    was dropped — or the file lacks its final newline, which would make
+    the next append produce a run-on line — the file is rewritten
+    atomically from the surviving lines.
+
+    Returns:
+        ``(records, dropped)``: the surviving records in file order and
+        the number of damaged lines discarded.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    records: list[dict] = []
+    good_lines: list[bytes] = []
+    dropped = 0
+    for segment in raw.split(b"\n"):
+        if not segment.strip():
+            continue
+        try:
+            record = json.loads(segment)
+        except ValueError:
+            dropped += 1
+            continue
+        if not isinstance(record, dict):
+            dropped += 1
+            continue
+        records.append(record)
+        good_lines.append(segment)
+    if dropped or (raw and not raw.endswith(b"\n")):
+        atomic_write_bytes(path, b"".join(line + b"\n"
+                                          for line in good_lines))
+    return records, dropped
+
+
+class CheckpointWriter:
+    """Durable, order-preserving JSONL appender with failure absorption.
+
+    Args:
+        path: The checkpoint file (created on first append).
+        fsync: When True (default) every successful append is fsync'd
+            before :meth:`append` returns, so a SIGKILL immediately
+            after cannot lose it.
+
+    Attributes:
+        pending: Records whose writes failed, in append order, waiting
+            to be flushed.
+        write_errors: Total failed write attempts observed.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.pending: list[tuple[str, str]] = []
+        self.write_errors = 0
+        self._seq = 0
+
+    def _write_line(self, tag: str, line: str) -> None:
+        """One append attempt; raises OSError on (possibly injected)
+        failure."""
+        self._seq += 1
+        faults.checkpoint_error(tag, self._seq)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def _drain(self) -> bool:
+        """Write pending lines in FIFO order; False on first failure."""
+        while self.pending:
+            tag, line = self.pending[0]
+            try:
+                self._write_line(tag, line)
+            except OSError:
+                self.write_errors += 1
+                return False
+            self.pending.pop(0)
+        return True
+
+    def append(self, record: dict, tag: str = "") -> bool:
+        """Queue one record and push everything queued to disk.
+
+        The record always survives in ``pending`` on failure, and lines
+        reach the file strictly in append order regardless of which
+        attempts failed.
+
+        Returns:
+            True when the record (and all earlier pending ones) is on
+            disk, False when it is parked in ``pending``.
+        """
+        self.pending.append((tag, json.dumps(record) + "\n"))
+        return self._drain()
+
+    def flush_pending(self, attempts: int = 20) -> bool:
+        """Retry parked records; True once nothing is pending.
+
+        Each retry re-rolls injected failures (the attempt sequence
+        advances), mirroring a disk that recovers.
+        """
+        for _ in range(attempts):
+            if self._drain():
+                return True
+        return not self.pending
+
+    def rewrite(self, records: list[dict]) -> None:
+        """Atomically replace the whole file (legacy-format migration)."""
+        atomic_write_bytes(
+            self.path,
+            "".join(json.dumps(r) + "\n" for r in records).encode("utf-8"))

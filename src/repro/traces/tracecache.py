@@ -31,6 +31,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from ..resilience.checkpoint import fsync_dir
 from .packed import PACKED_FORMAT_VERSION, PackedTrace
 from .synthetic import (
     GENERATOR_VERSION,
@@ -89,6 +90,8 @@ class TraceCache:
         generated: Traces synthesised (and stored) by this instance.
         bytes_read: Packed payload bytes loaded from disk.
         bytes_written: Packed payload bytes persisted to disk.
+        put_errors: Stores that failed (full/flaky disk) and were
+            absorbed — the generated trace is still returned.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
@@ -99,6 +102,7 @@ class TraceCache:
         self.generated = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.put_errors = 0
 
     # ---- keying ---------------------------------------------------------
 
@@ -174,6 +178,8 @@ class TraceCache:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(header.encode("utf-8") + b"\n")
                 handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, self._path(self.key_for(spec, n, seed)))
         except BaseException:
             try:
@@ -181,6 +187,7 @@ class TraceCache:
             except OSError:
                 pass
             raise
+        fsync_dir(self.root)
         self.bytes_written += len(payload)
 
     def get_or_generate(self, spec: SyntheticSpec, n: int,
@@ -190,12 +197,18 @@ class TraceCache:
         Concurrent workers racing on a cold entry each generate the
         identical stream and write it atomically — last writer wins with
         byte-identical content, and no reader ever sees a partial file.
+        A store that fails (full or flaky disk) is counted in
+        :attr:`put_errors` and the freshly generated trace is returned
+        anyway: the cache accelerates runs, it never gates them.
         """
         trace = self.get(spec, n, seed)
         if trace is None:
             trace = SyntheticTraceGenerator(spec, seed=seed) \
                 .generate_packed(n)
-            self.put(spec, n, seed, trace)
+            try:
+                self.put(spec, n, seed, trace)
+            except OSError:
+                self.put_errors += 1
             self.generated += 1
         return trace
 
