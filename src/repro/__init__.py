@@ -18,6 +18,7 @@ Quick start::
 from .analysis import ExperimentConfig, ExperimentHarness
 from .baselines import FIGURE7_VARIANTS, FIGURE8_DESIGNS, make_controller
 from .core import BumblebeeConfig, BumblebeeController
+from .designs import DesignSpec, registry
 from .mem import MemoryDevice, ddr4_3200_config, hbm2_config
 from .sim import CpuModel, MemoryRequest, SimulationDriver
 from .traces import (
@@ -28,13 +29,15 @@ from .traces import (
     workload_trace,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentHarness",
     "BumblebeeConfig",
     "BumblebeeController",
+    "DesignSpec",
+    "registry",
     "make_controller",
     "FIGURE7_VARIANTS",
     "FIGURE8_DESIGNS",

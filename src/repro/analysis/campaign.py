@@ -54,6 +54,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from ..designs import DesignSpec
 from ..resilience.checkpoint import CheckpointWriter, recover_jsonl
 from .experiments import ExperimentHarness
 from .metrics import WorkloadComparison
@@ -93,8 +94,26 @@ class QuarantinedCell:
                 f"{self.attempts[-1]} ({len(self.attempts)} attempts)")
 
 
-def _cell_key(design: str, workload: str) -> str:
+def _cell_key(design: "str | DesignSpec", workload: str) -> str:
+    """Resume key of one cell.
+
+    Plain registered names keep the legacy ``design::workload`` shape so
+    campaign files written before design specs existed still resume.
+    :class:`DesignSpec` cells add the spec's stable hash — two sweep
+    points differing only in a parameter must never collapse into one
+    resume key.
+    """
+    if isinstance(design, DesignSpec):
+        return f"{design.name}@{design.spec_hash[:12]}::{workload}"
     return f"{design}::{workload}"
+
+
+def _record_key(record: dict) -> str:
+    """Reconstruct a persisted record's resume key on load."""
+    spec = record.get("spec")
+    if spec is not None:
+        return _cell_key(DesignSpec.from_dict(spec), record["workload"])
+    return _cell_key(record["design"], record["workload"])
 
 
 def _comparison_record(comparison: WorkloadComparison,
@@ -173,8 +192,7 @@ class Campaign:
             else:
                 records, self.recovered_lines = recover_jsonl(self.path)
             for record in records:
-                self._records[_cell_key(record["design"],
-                                        record["workload"])] = record
+                self._records[_record_key(record)] = record
 
     @property
     def completed_cells(self) -> int:
@@ -185,12 +203,18 @@ class Campaign:
         """Records still awaiting a successful checkpoint write."""
         return len(self._writer.pending)
 
-    def has(self, design: str, workload: str) -> bool:
+    def has(self, design: "str | DesignSpec", workload: str) -> bool:
         return _cell_key(design, workload) in self._records
 
-    def run(self, designs: Sequence[str], workloads: Sequence[str],
+    def run(self, designs: "Sequence[str | DesignSpec]",
+            workloads: Sequence[str],
             jobs: int | None = 1, supervise=None) -> int:
         """Fill every missing cell; returns the number of new runs.
+
+        ``designs`` mixes registered names and
+        :class:`~repro.designs.DesignSpec` sweep points freely; spec
+        cells persist their full spec dump alongside the result so a
+        resumed campaign reconstructs their keys from disk.
 
         ``jobs`` > 1 computes the missing cells on a process pool; the
         persisted records are bit-identical to a serial run.  Each cell
@@ -218,10 +242,12 @@ class Campaign:
             return 0
         completed = 0
 
-        def persist(design: str, workload: str,
+        def persist(design: "str | DesignSpec", workload: str,
                     comparison: WorkloadComparison) -> None:
             nonlocal completed
             record = _comparison_record(comparison, self.harness)
+            if isinstance(design, DesignSpec):
+                record["spec"] = design.to_dict()
             if self.record_timing:
                 record["timing"] = self.harness.cell_timing(design,
                                                             workload)
@@ -230,9 +256,11 @@ class Campaign:
             self._append(record, tag=key)
             completed += 1
 
-        def quarantine(design: str, workload: str, failure) -> None:
+        def quarantine(design: "str | DesignSpec", workload: str,
+                       failure) -> None:
             self.quarantined.append(QuarantinedCell(
-                design, workload, tuple(failure.attempts)))
+                getattr(design, "name", design), workload,
+                tuple(failure.attempts)))
 
         def _sigterm(signum, frame):
             raise KeyboardInterrupt
@@ -308,20 +336,21 @@ class Campaign:
         if not matrix:
             return "(campaign empty)"
         workloads = sorted({w for row in matrix.values() for w in row})
-        lines = [f"{'design':>12} " + " ".join(f"{w[:7]:>7}"
-                                               for w in workloads)]
+        width = max(12, *(len(design) for design in matrix))
+        lines = [f"{'design':>{width}} " + " ".join(f"{w[:7]:>7}"
+                                                    for w in workloads)]
         for design in sorted(matrix):
             cells = []
             for workload in workloads:
                 value = matrix[design].get(workload)
                 cells.append(f"{value:7.2f}" if value is not None
                              else f"{'-':>7}")
-            lines.append(f"{design:>12} " + " ".join(cells))
+            lines.append(f"{design:>{width}} " + " ".join(cells))
         return "\n".join(lines)
 
 
 def run_campaign(harness: ExperimentHarness, path: str | Path,
-                 designs: Sequence[str],
+                 designs: "Sequence[str | DesignSpec]",
                  workloads: Sequence[str],
                  jobs: int | None = 1,
                  supervise=None,

@@ -24,7 +24,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
-from ..baselines import FIGURE8_DESIGNS, make_controller
+from ..baselines import make_controller
+from ..designs import registry
 from ..mem.timing import DeviceConfig
 from ..sanitize import InvariantChecker, shrink_trace
 from ..sim.driver import SimResult, SimulationDriver
@@ -41,8 +42,10 @@ from .experiments import fitted_devices
 import random
 
 #: Every design the sanitizer cross-checks (``--designs all``): the
-#: Figure 8 comparison set plus the remaining standalone controllers.
-SANITIZE_DESIGNS = list(FIGURE8_DESIGNS) + ["No-HBM", "Ideal", "MemPod"]
+#: full registry in registration order — the Figure 8 comparison set,
+#: every Figure 7 ablation bar, and the standalone controllers.  A new
+#: ``@register_design`` / ``register_spec`` is covered automatically.
+SANITIZE_DESIGNS = list(registry.names())
 
 #: Default scale for differential runs: a small system (4MB HBM, 40MB
 #: DRAM at 1/256) keeps sets few and contention high, so eviction, HMF,

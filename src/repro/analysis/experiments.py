@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..baselines import FIGURE7_VARIANTS, FIGURE8_DESIGNS, make_controller
+from ..designs import DesignSpec, registry
 from ..cache.utilisation import FIG1_LINE_SIZES, UtilisationResult, characterise
 from ..core.config import BumblebeeConfig, derive_geometry
 from ..core.hmmc import BumblebeeController
@@ -126,7 +127,8 @@ class ExperimentHarness:
         self.gen_seconds = 0.0
         self._traces: dict[str, PackedTrace] = {}
         self._baselines: dict[str, SimResult] = {}
-        self._comparisons: dict[tuple[str, str], WorkloadComparison] = {}
+        self._comparisons: dict[tuple[DesignSpec, str],
+                                WorkloadComparison] = {}
         self._cell_timings: dict[tuple[str, str], dict[str, float]] = {}
 
     # ---- shared plumbing -------------------------------------------------
@@ -147,11 +149,31 @@ class ExperimentHarness:
             "version": __version__,
         }
 
-    def _comparison_key(self, design: str, workload: str) -> str:
-        """Cache key of one named-design cell."""
+    @staticmethod
+    def _resolve_spec(design: "str | DesignSpec") -> DesignSpec:
+        """Normalise a design name or spec to a :class:`DesignSpec`."""
+        return registry.resolve(design)
+
+    @staticmethod
+    def _timing_label(design: "str | DesignSpec") -> str:
+        """The observability label of one design cell."""
+        return design.name if isinstance(design, DesignSpec) else design
+
+    def _comparison_key(self, design: "str | DesignSpec",
+                        workload: str) -> str:
+        """Cache key of one design-spec cell.
+
+        The key incorporates the spec's canonical dump *and* its stable
+        hash, so two parameterisations of one base design can never
+        collide — keying on the display name alone would let e.g. two
+        ``chbm_ratio`` points of a sweep alias each other's records.
+        """
+        spec = self._resolve_spec(design)
         return ResultCache.key_for(
             kind="design",
-            design=design,
+            design=spec.name,
+            design_spec=spec.to_dict(),
+            design_spec_hash=spec.spec_hash,
             hbm=dataclasses.asdict(self.hbm_config),
             dram=dataclasses.asdict(self.dram_config),
             sram_bytes=self.config.scale.sram_bytes,
@@ -188,25 +210,26 @@ class ExperimentHarness:
                   f"failure: {exc}", file=sys.stderr)
             self.cache = None
 
-    def cached_comparison(self, design: str,
+    def cached_comparison(self, design: "str | DesignSpec",
                           workload: str) -> WorkloadComparison | None:
         """The cell's comparison from memory or the persistent cache.
 
         Returns None when the cell has not been computed (no simulation
         is triggered).
         """
-        key = (design, workload)
+        spec = self._resolve_spec(design)
+        key = (spec, workload)
         if key in self._comparisons:
             return self._comparisons[key]
         if self.cache is not None:
-            record = self.cache.get(self._comparison_key(design, workload))
+            record = self.cache.get(self._comparison_key(spec, workload))
             if record is not None:
                 comparison = WorkloadComparison(**record)
                 self._comparisons[key] = comparison
                 return comparison
         return None
 
-    def absorb_comparison(self, design: str, workload: str,
+    def absorb_comparison(self, design: "str | DesignSpec", workload: str,
                           record: dict) -> WorkloadComparison:
         """Adopt a comparison computed elsewhere (a worker process).
 
@@ -214,10 +237,11 @@ class ExperimentHarness:
         cell cache and, when configured, the persistent cache — exactly
         as if this harness had simulated the cell itself.
         """
+        spec = self._resolve_spec(design)
         comparison = WorkloadComparison(**record)
-        self._comparisons[(design, workload)] = comparison
+        self._comparisons[(spec, workload)] = comparison
         if self.cache is not None:
-            self.cache_put(self._comparison_key(design, workload), record)
+            self.cache_put(self._comparison_key(spec, workload), record)
         return comparison
 
     def _packed_trace(self, spec, n: int) -> PackedTrace:
@@ -288,7 +312,7 @@ class ExperimentHarness:
                     if self.trace_cache is not None else None)
         return time.perf_counter(), self.gen_seconds, counters
 
-    def _record_timing(self, design: str, workload: str,
+    def _record_timing(self, design: "str | DesignSpec", workload: str,
                        snapshot: tuple) -> None:
         """Store one cell's generation/simulation split and cache deltas."""
         start, gen_before, counters_before = snapshot
@@ -304,14 +328,16 @@ class ExperimentHarness:
                      if after is not None and counters_before is not None
                      else 0)
             timing[f"trace_{name}"] = delta
-        self._cell_timings[(design, workload)] = timing
+        self._cell_timings[(self._timing_label(design), workload)] = timing
 
-    def cell_timing(self, design: str, workload: str) -> dict[str, float]:
+    def cell_timing(self, design: "str | DesignSpec",
+                    workload: str) -> dict[str, float]:
         """One cell's observability record: wall-time split between trace
         generation (``gen_s``) and simulation (``sim_s``), plus the
         cell's trace-cache counter deltas (``trace_hits`` etc.).  Cells
         this harness has not timed report zeros."""
-        timing = self._cell_timings.get((design, workload))
+        timing = self._cell_timings.get(
+            (self._timing_label(design), workload))
         if timing is None:
             timing = {"gen_s": 0.0, "sim_s": 0.0}
             timing.update({f"trace_{name}": 0
@@ -319,32 +345,36 @@ class ExperimentHarness:
                                         "bytes_read", "bytes_written")})
         return dict(timing)
 
-    def adopt_timing(self, design: str, workload: str,
+    def adopt_timing(self, design: "str | DesignSpec", workload: str,
                      timing: dict[str, float]) -> None:
         """Adopt a cell timing measured elsewhere (a worker process)."""
-        self._cell_timings[(design, workload)] = dict(timing)
+        self._cell_timings[(self._timing_label(design),
+                            workload)] = dict(timing)
 
-    def run_design(self, design: str, workload: str) -> WorkloadComparison:
-        """Run one named design on one workload, normalised (cached:
-        repeated figures share the same deterministic run, and the
-        persistent cache — when configured — spans processes)."""
+    def run_design(self, design: "str | DesignSpec",
+                   workload: str) -> WorkloadComparison:
+        """Run one design — a registered name or a :class:`DesignSpec` —
+        on one workload, normalised (cached: repeated figures share the
+        same deterministic run, and the persistent cache — when
+        configured — spans processes under spec-hash keys)."""
+        spec = self._resolve_spec(design)
         snapshot = self._timing_start()
-        cached = self.cached_comparison(design, workload)
+        cached = self.cached_comparison(spec, workload)
         if cached is not None:
-            self._record_timing(design, workload, snapshot)
+            self._record_timing(spec.name, workload, snapshot)
             return cached
-        controller = make_controller(
-            design, self.hbm_config, self.dram_config,
+        controller = registry.build(
+            spec, self.hbm_config, self.dram_config,
             sram_bytes=self.config.scale.sram_bytes)
         result = self.driver.run(controller, self.trace(workload),
                                  workload=workload,
                                  warmup=self.config.warmup)
         comparison = compare(result, self.baseline(workload))
-        self._comparisons[(design, workload)] = comparison
+        self._comparisons[(spec, workload)] = comparison
         if self.cache is not None:
-            self.cache_put(self._comparison_key(design, workload),
+            self.cache_put(self._comparison_key(spec, workload),
                            dataclasses.asdict(comparison))
-        self._record_timing(design, workload, snapshot)
+        self._record_timing(spec.name, workload, snapshot)
         return comparison
 
     def run_bumblebee(self, bumblebee_config: BumblebeeConfig,

@@ -50,11 +50,15 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 from ..core.config import BumblebeeConfig
+from ..designs import DesignSpec
 from .experiments import ExperimentConfig, ExperimentHarness, fitted_devices
 from .metrics import WorkloadComparison
 
-#: One (design name, workload name) coordinate of the result matrix.
-DesignCell = "tuple[str, str]"
+#: One (design name or spec, workload name) coordinate of the result
+#: matrix.  :class:`DesignSpec` cells are hashable and picklable, so
+#: they ride the same dedup, process fan-out, and supervision paths as
+#: plain registered names.
+DesignCell = "tuple[str | DesignSpec, str]"
 
 #: One custom-Bumblebee coordinate:
 #: (config, workload, run name, page_bytes for device fitting or None).
@@ -80,6 +84,18 @@ def _worker_harness(config: ExperimentConfig,
 def _cache_root(harness: ExperimentHarness) -> "str | None":
     """The parent's persistent-cache root, as shipped to workers."""
     return str(harness.cache.root) if harness.cache is not None else None
+
+
+def design_token(design: "str | DesignSpec") -> str:
+    """A stable, collision-free string token for one design cell.
+
+    Plain registered names map to themselves; parameterised specs add
+    their stable hash so two same-named (or same-based) sweep points
+    can never share a supervision key or sort position.
+    """
+    if isinstance(design, DesignSpec):
+        return f"{design.name}@{design.spec_hash[:12]}"
+    return str(design)
 
 
 def _design_cell(task: tuple) -> tuple:
@@ -203,7 +219,8 @@ def run_design_cells(
         else:
             # Workload-major order: consecutive cells of one chunk share
             # a trace and baseline inside their worker.
-            ordered = sorted(todo, key=lambda cell: (cell[1], cell[0]))
+            ordered = sorted(
+                todo, key=lambda cell: (cell[1], design_token(cell[0])))
             cache_root = _cache_root(harness)
             tasks = [(harness.config, cache_root, design, workload)
                      for design, workload in ordered]
@@ -232,9 +249,9 @@ def _run_supervised_cells(harness: ExperimentHarness, todo: list,
     # triggering the resilience package (and vice versa).
     from ..resilience.supervisor import run_supervised
     cache_root = _cache_root(harness)
-    by_key = {f"{design}::{workload}": (design, workload)
+    by_key = {f"{design_token(design)}::{workload}": (design, workload)
               for design, workload in todo}
-    tasks = [(f"{design}::{workload}",
+    tasks = [(f"{design_token(design)}::{workload}",
               (harness.config, cache_root, design, workload))
              for design, workload in todo]
 

@@ -1,13 +1,18 @@
 """Baseline memory-system designs and the controller framework.
 
-``make_controller`` is the factory the experiment harness uses; it covers
-every design of Figure 8 plus the Figure 7 ablation variants.
+Every controller here (and Bumblebee in :mod:`repro.core.hmmc`)
+registers itself into the design registry
+(:data:`repro.designs.registry`); the paper-order name lists and the
+``make_controller`` factory below are thin views over it, kept for
+backward compatibility.  New code should build from
+:class:`~repro.designs.DesignSpec`\\ s via ``registry.build``.
 """
 
 from __future__ import annotations
 
 from ..core.config import AllocationPolicy, BumblebeeConfig
 from ..core.hmmc import BumblebeeController
+from ..designs import registry
 from ..mem.timing import DeviceConfig
 from .alloy import AlloyCacheController
 from .banshee import BansheeController
@@ -21,81 +26,35 @@ from .no_hbm import NoHBMController
 from .static import c_only, fixed_chbm, m_only
 from .unison import UnisonCacheController
 
-#: The designs compared in Figure 8, in paper order.
-FIGURE8_DESIGNS = ["Banshee", "AlloyCache", "UnisonCache", "Chameleon",
-                   "Hybrid2", "Bumblebee"]
+#: The designs compared in Figure 8, in paper order (registry-derived).
+FIGURE8_DESIGNS = registry.figure_names("fig8")
 
-#: The Figure 7 factor-breakdown bars, in paper order.
-FIGURE7_VARIANTS = ["C-Only", "M-Only", "25%-C", "50%-C", "No-Multi",
-                    "Meta-H", "Alloc-D", "Alloc-H", "No-HMF", "Bumblebee"]
+#: The Figure 7 factor-breakdown bars, in paper order (registry-derived).
+FIGURE7_VARIANTS = registry.figure_names("fig7")
 
 
 def make_controller(name: str, hbm_config: DeviceConfig,
                     dram_config: DeviceConfig,
                     sram_bytes: int = 512 * 1024) -> HybridMemoryController:
-    """Instantiate any evaluated design by its paper name.
+    """Instantiate any registered design by name (registry shim).
 
     Args:
-        name: A Figure 7 or Figure 8 design name.
+        name: Any registered design name (Figure 7/8 names, ``No-HBM``,
+            ``Ideal``, ``MemPod``).
         hbm_config: Die-stacked device configuration.
         dram_config: Off-chip device configuration.
         sram_bytes: On-chip metadata SRAM budget (512KB at paper scale;
             pass ``scale.sram_bytes`` for reduced-scale runs so
-            metadata-heavy designs keep paying their MAL).
+            metadata-heavy designs keep paying their MAL).  Reaches only
+            designs that declare an ``sram_bytes`` parameter (Chameleon,
+            Hybrid2); explicitly unsupported elsewhere.
 
     Raises:
-        ValueError: for an unknown design name.
+        ValueError: for an unknown design name (the message lists every
+            registered name).
     """
-    if name == "No-HBM":
-        return NoHBMController(dram_config)
-    if name == "Ideal":
-        return IdealHBMController(hbm_config, dram_config)
-    if name == "MemPod":
-        return MemPodController(hbm_config, dram_config)
-    if name == "Bumblebee":
-        return BumblebeeController(hbm_config, dram_config)
-    if name == "Banshee":
-        return BansheeController(hbm_config, dram_config)
-    if name == "AlloyCache":
-        return AlloyCacheController(hbm_config, dram_config)
-    if name == "UnisonCache":
-        return UnisonCacheController(hbm_config, dram_config)
-    if name == "Chameleon":
-        return ChameleonController(hbm_config, dram_config,
-                                   sram_bytes=sram_bytes)
-    if name == "Hybrid2":
-        return Hybrid2Controller(hbm_config, dram_config,
-                                  sram_bytes=sram_bytes)
-    if name == "C-Only":
-        return c_only(hbm_config, dram_config)
-    if name == "M-Only":
-        return m_only(hbm_config, dram_config)
-    if name == "25%-C":
-        return fixed_chbm(hbm_config, dram_config, 0.25)
-    if name == "50%-C":
-        return fixed_chbm(hbm_config, dram_config, 0.50)
-    if name == "No-Multi":
-        return BumblebeeController(
-            hbm_config, dram_config,
-            BumblebeeConfig(multiplexed=False), name="No-Multi")
-    if name == "Meta-H":
-        return BumblebeeController(
-            hbm_config, dram_config,
-            BumblebeeConfig(metadata_in_hbm=True), name="Meta-H")
-    if name == "Alloc-D":
-        return BumblebeeController(
-            hbm_config, dram_config,
-            BumblebeeConfig(allocation=AllocationPolicy.DRAM),
-            name="Alloc-D")
-    if name == "Alloc-H":
-        return BumblebeeController(
-            hbm_config, dram_config,
-            BumblebeeConfig(allocation=AllocationPolicy.HBM), name="Alloc-H")
-    if name == "No-HMF":
-        return BumblebeeController(
-            hbm_config, dram_config,
-            BumblebeeConfig(hmf_enabled=False), name="No-HMF")
-    raise ValueError(f"unknown design {name!r}")
+    return registry.build(name, hbm_config, dram_config,
+                          sram_bytes=sram_bytes)
 
 
 __all__ = [

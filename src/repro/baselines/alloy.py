@@ -16,6 +16,7 @@ miss-stream level.
 
 from __future__ import annotations
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
 from .base import HybridMemoryController
@@ -124,3 +125,12 @@ class AlloyCacheController(HybridMemoryController):
     def os_visible_bytes(self) -> int:
         """The stack is a cache (or absent): the OS sees only DRAM."""
         return self.dram.capacity_bytes
+
+
+@register_design(
+    "AlloyCache",
+    description="Direct-mapped TAD cache over the whole stack "
+                "(tags in HBM, MAP-I hit prediction)",
+    figures=(("fig8", 1),))
+def _build_alloy(hbm_config, dram_config, *, name="AlloyCache"):
+    return AlloyCacheController(hbm_config, dram_config, name=name)

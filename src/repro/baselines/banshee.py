@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest
 from .base import HybridMemoryController
@@ -158,3 +159,12 @@ class BansheeController(HybridMemoryController):
     def os_visible_bytes(self) -> int:
         """The stack is a cache (or absent): the OS sees only DRAM."""
         return self.dram.capacity_bytes
+
+
+@register_design(
+    "Banshee",
+    description="Page-granular TLB-tracked cache with "
+                "frequency-based replacement",
+    figures=(("fig8", 0),))
+def _build_banshee(hbm_config, dram_config, *, name="Banshee"):
+    return BansheeController(hbm_config, dram_config, name=name)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
 from .base import HybridMemoryController
@@ -119,3 +120,15 @@ class ChameleonController(HybridMemoryController):
     @property
     def metadata_sram_miss_rate(self) -> float:
         return self._metadata.miss_rate
+
+
+@register_design(
+    "Chameleon",
+    params={"sram_bytes": 512 * 1024},
+    description="Segment-group POM with an SRAM metadata cache "
+                "(sram_bytes budgets it)",
+    figures=(("fig8", 3),))
+def _build_chameleon(hbm_config, dram_config, *, name="Chameleon",
+                     sram_bytes=512 * 1024):
+    return ChameleonController(hbm_config, dram_config,
+                               sram_bytes=sram_bytes, name=name)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
 from .base import HybridMemoryController
@@ -263,3 +264,15 @@ class Hybrid2Controller(HybridMemoryController):
     def os_visible_bytes(self) -> int:
         """DRAM plus the mHBM region; the fixed cHBM is hidden from the OS."""
         return self.dram.capacity_bytes + self._mhbm_slots * PAGE_BYTES
+
+
+@register_design(
+    "Hybrid2",
+    params={"sram_bytes": 512 * 1024},
+    description="Fixed 1/16 cHBM staging cache plus 2KB-page POM "
+                "(sram_bytes budgets the metadata cache)",
+    figures=(("fig8", 4),))
+def _build_hybrid2(hbm_config, dram_config, *, name="Hybrid2",
+                   sram_bytes=512 * 1024):
+    return Hybrid2Controller(hbm_config, dram_config,
+                             sram_bytes=sram_bytes, name=name)

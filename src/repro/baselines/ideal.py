@@ -11,6 +11,7 @@ MPKI group.
 
 from __future__ import annotations
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest
 from .base import HybridMemoryController
@@ -32,3 +33,10 @@ class IdealHBMController(HybridMemoryController):
 
     def metadata_bytes(self) -> int:
         return 0
+
+
+@register_design(
+    "Ideal",
+    description="Infinite-HBM oracle: the performance ceiling")
+def _build_ideal(hbm_config, dram_config, *, name="Ideal"):
+    return IdealHBMController(hbm_config, dram_config, name=name)

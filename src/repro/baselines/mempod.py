@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest
 from .base import HybridMemoryController
@@ -141,3 +142,10 @@ class MemPodController(HybridMemoryController):
 
     def metadata_in_sram(self) -> bool:
         return True
+
+
+@register_design(
+    "MemPod",
+    description="Epoch-batched MEA migration in independent pods")
+def _build_mempod(hbm_config, dram_config, *, name="MemPod"):
+    return MemPodController(hbm_config, dram_config, name=name)

@@ -7,6 +7,7 @@ modulo the module capacity, and no metadata exists.
 
 from __future__ import annotations
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest
 from .base import HybridMemoryController
@@ -25,3 +26,11 @@ class NoHBMController(HybridMemoryController):
     def os_visible_bytes(self) -> int:
         """The stack is a cache (or absent): the OS sees only DRAM."""
         return self.dram.capacity_bytes
+
+
+@register_design(
+    "No-HBM",
+    description="Off-chip DRAM only: the denominator of every "
+                "normalised metric")
+def _build_no_hbm(hbm_config, dram_config, *, name="No-HBM"):
+    return NoHBMController(dram_config, name=name)

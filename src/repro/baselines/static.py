@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from ..core.config import BumblebeeConfig
 from ..core.hmmc import BumblebeeController
+from ..designs import register_spec
 from ..mem.timing import DeviceConfig
 
 
@@ -62,3 +63,19 @@ def fixed_chbm(hbm_config: DeviceConfig, dram_config: DeviceConfig,
     chbm_ways = round(ways * fraction)
     return _fixed(hbm_config, dram_config, chbm_ways=chbm_ways,
                   name=f"{int(fraction * 100)}%-C")
+
+
+# The static-partition bars of Figure 7 are Bumblebee specs with a
+# chbm_ratio override (ratio x hbm_ways cHBM-only ways, rest mHBM-only).
+register_spec("C-Only", "Bumblebee", {"chbm_ratio": 1.0},
+              description="All HBM as DRAM cache",
+              figures=(("fig7", 0),))
+register_spec("M-Only", "Bumblebee", {"chbm_ratio": 0.0},
+              description="All HBM as OS-visible POM",
+              figures=(("fig7", 1),))
+register_spec("25%-C", "Bumblebee", {"chbm_ratio": 0.25},
+              description="KNL-style static split, 25% cHBM",
+              figures=(("fig7", 2),))
+register_spec("50%-C", "Bumblebee", {"chbm_ratio": 0.5},
+              description="KNL-style static split, 50% cHBM",
+              figures=(("fig7", 3),))

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
 from .base import HybridMemoryController
@@ -191,3 +192,14 @@ class UnisonCacheController(HybridMemoryController):
     def os_visible_bytes(self) -> int:
         """The stack is a cache (or absent): the OS sees only DRAM."""
         return self.dram.capacity_bytes
+
+
+@register_design(
+    "UnisonCache",
+    params={"seed": 7},
+    description="4-way page-granular cache with way + footprint "
+                "prediction (seeded predictor)",
+    figures=(("fig8", 2),))
+def _build_unison(hbm_config, dram_config, *, name="UnisonCache", seed=7):
+    return UnisonCacheController(hbm_config, dram_config, name=name,
+                                 seed=seed)

@@ -9,6 +9,10 @@ Usage (also via ``python -m repro``)::
     repro mix --preset mix-fig1 --design Bumblebee
     repro metadata
     repro sanitize --designs all --seeds 3
+    repro designs list
+    repro designs show Bumblebee
+    repro sweep --grid chbm_ratio=0,0.25,0.5,0.75,1.0 \\
+                --grid allocation=dram,hbm,adaptive --jobs 4
 
 Every subcommand prints paper-style text tables; numeric knobs mirror
 :class:`~repro.analysis.experiments.ExperimentConfig`.
@@ -38,7 +42,8 @@ from .analysis import (
     format_overheads,
     format_table2,
 )
-from .baselines import FIGURE7_VARIANTS, FIGURE8_DESIGNS, make_controller
+from .baselines import FIGURE8_DESIGNS, make_controller
+from .designs import parse_grid, registry
 from .sim import SimulationDriver
 from .traces import MIX_PRESETS, SPEC2017, build_mix, mix_trace
 
@@ -77,6 +82,28 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
                              "DIR, uses $REPRO_TRACE_CACHE or "
                              "~/.cache/repro-bumblebee/traces; "
                              "'off' disables it")
+
+
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--supervise", action="store_true",
+                        help="run cells under the supervised pool "
+                             "(crash retry, quarantine) with default "
+                             "policy")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-cell wall-clock limit; a wedged "
+                             "worker is killed and the cell retried "
+                             "(implies --supervise)")
+    parser.add_argument("--retries", type=int, default=None,
+                        metavar="N",
+                        help="retries per failing cell before "
+                             "quarantine (default 2; implies "
+                             "--supervise)")
+    parser.add_argument("--backoff", type=float, default=None,
+                        metavar="S",
+                        help="base retry delay, doubled per attempt "
+                             "with deterministic jitter (implies "
+                             "--supervise)")
 
 
 def _harness(args: argparse.Namespace,
@@ -183,8 +210,13 @@ def _supervision(args: argparse.Namespace):
         seed=args.seed)
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    """Fill (or resume) a persisted design x workload result matrix."""
+def _fill_campaign(args: argparse.Namespace, designs) -> int:
+    """Shared fill/resume/report path of ``campaign`` and ``sweep``.
+
+    ``designs`` mixes registered names and
+    :class:`~repro.designs.DesignSpec` sweep points.  Exit codes: 0
+    complete, 2 bad --resume, 4 quarantined cells, 130 interrupted.
+    """
     from pathlib import Path
 
     from .analysis import Campaign, CampaignInterrupted
@@ -201,7 +233,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"resuming: {campaign.completed_cells} cells already "
               f"complete in {args.out}")
     try:
-        new_runs = campaign.run(args.designs, args.workloads,
+        new_runs = campaign.run(designs, args.workloads,
                                 jobs=args.jobs,
                                 supervise=_supervision(args))
     except CampaignInterrupted as interrupted:
@@ -228,6 +260,80 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print()
         print(campaign.render_quarantine())
         return 4
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Fill (or resume) a persisted design x workload result matrix."""
+    return _fill_campaign(args, args.designs)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a parameter grid into specs and run them as a campaign."""
+    tokens = [token for group in args.grid for token in group]
+    try:
+        grid = parse_grid(tokens)
+        specs = registry.expand_grid(args.base, grid)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    axes = " x ".join(f"{key}[{len(values)}]"
+                      for key, values in grid.items())
+    print(f"sweep: {args.base} over {axes} = {len(specs)} specs x "
+          f"{len(args.workloads)} workloads "
+          f"({len(specs) * len(args.workloads)} cells)")
+    return _fill_campaign(args, specs)
+
+
+def cmd_designs(args: argparse.Namespace) -> int:
+    """Inspect the design registry (``list`` / ``show NAME``)."""
+    if args.action == "list":
+        names = registry.names()
+        width = max(len(name) for name in names)
+        base_width = max(len(registry.spec(name).base) for name in names)
+        print(f"{'design':<{width}} {'base':<{base_width}} "
+              f"{'figures':<12} parameters")
+        for name in names:
+            spec = registry.spec(name)
+            entry = registry.describe(name)
+            figures = ",".join(f"{fig}#{index}"
+                               for fig, index in entry.figures) or "-"
+            params = ", ".join(f"{key}={value}"
+                               for key, value in spec.params) or "-"
+            print(f"{name:<{width}} {spec.base:<{base_width}} "
+                  f"{figures:<12} {params}")
+        print(f"\n{len(names)} designs over "
+              f"{len(registry.base_names())} base designs; "
+              f"'repro designs show NAME' for schemas and spec hashes")
+        return 0
+    try:
+        spec = registry.spec(args.name)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    entry = registry.describe(args.name)
+    base = registry.design(spec.base)
+    print(f"design    : {spec.name}")
+    print(f"base      : {spec.base}")
+    if entry.description:
+        print(f"about     : {entry.description}")
+    if entry.figures:
+        print("figures   : " + ", ".join(
+            f"{fig} bar {index}" for fig, index in entry.figures))
+    print(f"spec hash : {spec.spec_hash}")
+    print(f"spec json : {spec.to_json()}")
+    overrides = spec.param_dict
+    if base.params:
+        print("parameters:")
+        for key in sorted(base.params):
+            default = base.params[key]
+            if key in overrides:
+                print(f"  {key} = {overrides[key]!r} "
+                      f"(default {default!r})")
+            else:
+                print(f"  {key} = {default!r}")
+    else:
+        print("parameters: (none declared)")
     return 0
 
 
@@ -319,8 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one design on one workload")
     run.add_argument("--design", default="Bumblebee",
-                     choices=sorted(set(FIGURE8_DESIGNS + FIGURE7_VARIANTS
-                                        + ["No-HBM"])))
+                     choices=sorted(registry.names()))
     run.add_argument("--workload", default="mcf",
                      choices=sorted(SPEC2017))
     _add_window_args(run)
@@ -364,28 +469,43 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", action="store_true",
                           help="require an existing campaign file and "
                                "run only the missing cells")
-    campaign.add_argument("--supervise", action="store_true",
-                          help="run cells under the supervised pool "
-                               "(crash retry, quarantine) with default "
-                               "policy")
-    campaign.add_argument("--timeout", type=float, default=None,
-                          metavar="S",
-                          help="per-cell wall-clock limit; a wedged "
-                               "worker is killed and the cell retried "
-                               "(implies --supervise)")
-    campaign.add_argument("--retries", type=int, default=None,
-                          metavar="N",
-                          help="retries per failing cell before "
-                               "quarantine (default 2; implies "
-                               "--supervise)")
-    campaign.add_argument("--backoff", type=float, default=None,
-                          metavar="S",
-                          help="base retry delay, doubled per attempt "
-                               "with deterministic jitter (implies "
-                               "--supervise)")
+    _add_supervision_args(campaign)
     _add_window_args(campaign)
     _add_scaling_args(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a parameter grid into a resumable spec campaign")
+    sweep.add_argument("--base", default="Bumblebee",
+                       help="base design the grid parameterises "
+                            "(see 'repro designs list')")
+    sweep.add_argument("--grid", action="append", nargs="+",
+                       required=True, metavar="KEY=V1,V2,...",
+                       help="one sweep axis: a declared parameter and "
+                            "its values (repeatable; axes cross-"
+                            "multiply, last axis varying fastest)")
+    sweep.add_argument("--out", default="sweep.jsonl")
+    sweep.add_argument("--workloads", nargs="+",
+                       default=["mcf", "wrf", "xz", "roms"])
+    sweep.add_argument("--metric", default="norm_ipc")
+    sweep.add_argument("--resume", action="store_true",
+                       help="require an existing sweep file and run "
+                            "only the missing cells")
+    _add_supervision_args(sweep)
+    _add_window_args(sweep)
+    _add_scaling_args(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    designs = sub.add_parser(
+        "designs", help="inspect the design registry")
+    designs_sub = designs.add_subparsers(dest="action", required=True)
+    designs_sub.add_parser(
+        "list", help="every registered design, base, and parameters")
+    show = designs_sub.add_parser(
+        "show", help="one design's schema, spec JSON, and stable hash")
+    show.add_argument("name")
+    designs.set_defaults(func=cmd_designs)
 
     validate = sub.add_parser(
         "validate", help="check every paper shape claim; exit 1 on miss")
@@ -435,7 +555,8 @@ def build_parser() -> argparse.ArgumentParser:
     mix = sub.add_parser("mix", help="run a multi-programmed mix")
     mix.add_argument("--preset", default="mix-fig1",
                      choices=sorted(MIX_PRESETS))
-    mix.add_argument("--design", default="Bumblebee")
+    mix.add_argument("--design", default="Bumblebee",
+                     choices=sorted(registry.names()))
     _add_window_args(mix)
     mix.set_defaults(func=cmd_mix)
 

@@ -23,6 +23,29 @@ class AllocationPolicy(enum.Enum):
     DRAM = "dram"         # Alloc-D: everything starts off-chip
     HBM = "hbm"           # Alloc-H: fill HBM first
 
+    @classmethod
+    def parse(cls, value: "AllocationPolicy | str") -> "AllocationPolicy":
+        """Coerce a policy, its value string, or the 'adaptive' alias.
+
+        Design specs carry the policy as a JSON string; ``adaptive`` is
+        accepted as a synonym for the hotness-based default.
+
+        Raises:
+            ValueError: for an unrecognised policy name.
+        """
+        if isinstance(value, cls):
+            return value
+        text = str(value).strip().lower()
+        if text == "adaptive":
+            return cls.HOTNESS
+        try:
+            return cls(text)
+        except ValueError:
+            valid = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown allocation policy {value!r}; valid: {valid}, "
+                f"adaptive") from None
+
 
 @dataclass(frozen=True)
 class BumblebeeConfig:

@@ -19,9 +19,11 @@ this one controller; see :class:`~repro.core.config.BumblebeeConfig`.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import deque
 
 from ..baselines.base import HybridMemoryController
+from ..designs import register_design, register_spec
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest
 from .ble import BLEArray, WayMode
@@ -775,3 +777,69 @@ class BumblebeeController(HybridMemoryController):
             <= self.hbm.capacity_bytes, (
             f"{occupied_pages} occupied HBM pages of {self._page_bytes}B "
             f"exceed the {self.hbm.capacity_bytes}B stack")
+
+
+# ---- design registry ------------------------------------------------------
+
+#: Sweepable Bumblebee parameters: every BumblebeeConfig field plus the
+#: ``chbm_ratio`` convenience knob (fraction of the HBM ways statically
+#: partitioned as cHBM; maps to ``fixed_chbm_ways``).  Allocation is
+#: declared as its JSON string form so specs stay plain data.
+_BUMBLEBEE_PARAMS = {
+    f.name: (f.default.value if isinstance(f.default, AllocationPolicy)
+             else f.default)
+    for f in dataclasses.fields(BumblebeeConfig)
+}
+_BUMBLEBEE_PARAMS["chbm_ratio"] = None
+
+
+@register_design(
+    "Bumblebee", params=_BUMBLEBEE_PARAMS,
+    description="The paper's MemCache HMMC (multiplexed cHBM/mHBM, "
+                "hotness allocation, HMF movement)",
+    figures=(("fig8", 5), ("fig7", 9)))
+def build_bumblebee(hbm_config: DeviceConfig, dram_config: DeviceConfig,
+                    *, name: str = "Bumblebee",
+                    **params) -> BumblebeeController:
+    """Registry builder: a Bumblebee controller from spec parameters.
+
+    ``chbm_ratio`` and ``fixed_chbm_ways`` are mutually exclusive ways
+    of asking for a static partition; ``allocation`` accepts the policy
+    enum, its value string, or the ``adaptive`` alias.
+    """
+    chbm_ratio = params.pop("chbm_ratio", None)
+    if chbm_ratio is not None:
+        if params.get("fixed_chbm_ways") is not None:
+            raise ValueError(
+                "give either chbm_ratio or fixed_chbm_ways, not both")
+        if not 0.0 <= chbm_ratio <= 1.0:
+            raise ValueError(f"chbm_ratio must be in [0, 1], "
+                             f"got {chbm_ratio}")
+        ways = params.get("hbm_ways", BumblebeeConfig.hbm_ways)
+        params["fixed_chbm_ways"] = round(ways * chbm_ratio)
+    if "allocation" in params:
+        params["allocation"] = AllocationPolicy.parse(params["allocation"])
+    config = BumblebeeConfig(**params)
+    return BumblebeeController(hbm_config, dram_config, config, name=name)
+
+
+# The Figure 7 movement/placement ablations are pure Bumblebee
+# parameterisations (the static-partition bars live in
+# repro.baselines.static next to their ratio helpers).
+register_spec("No-Multi", "Bumblebee", {"multiplexed": False},
+              description="Separate cHBM/mHBM spaces: every mode switch "
+                          "pays full data movement",
+              figures=(("fig7", 4),))
+register_spec("Meta-H", "Bumblebee", {"metadata_in_hbm": True},
+              description="All metadata in HBM: a metadata round trip "
+                          "on every request",
+              figures=(("fig7", 5),))
+register_spec("Alloc-D", "Bumblebee", {"allocation": "dram"},
+              description="Every new page allocates off-chip first",
+              figures=(("fig7", 6),))
+register_spec("Alloc-H", "Bumblebee", {"allocation": "hbm"},
+              description="Fill HBM first on allocation",
+              figures=(("fig7", 7),))
+register_spec("No-HMF", "Bumblebee", {"hmf_enabled": False},
+              description="High-memory-footprint movement rules disabled",
+              figures=(("fig7", 8),))

@@ -1,0 +1,41 @@
+"""Design registry and declarative design specifications.
+
+Every controller the reproduction evaluates — the Figure 8 comparison
+set, the Figure 7 ablation bars, and the auxiliary baselines — is a
+registered, composable configuration: a *base design* (a builder with a
+declared parameter schema) plus a :class:`DesignSpec` naming one point
+of its parameter space.  Specs serialise deterministically, hash
+stably, ride result-cache keys, and cross-multiply into sweeps::
+
+    from repro.designs import DesignSpec, registry
+
+    spec = DesignSpec("Bumblebee", {"chbm_ratio": 0.25,
+                                    "allocation": "dram"})
+    controller = registry.build(spec, hbm_config, dram_config)
+    grid = registry.expand_grid("Bumblebee", {
+        "chbm_ratio": [0.0, 0.25, 0.5, 0.75, 1.0],
+        "allocation": ["dram", "hbm", "adaptive"],
+    })
+"""
+
+from .spec import DesignSpec, parse_grid, parse_grid_value
+from .registry import (
+    DesignEntry,
+    DesignRegistry,
+    SpecEntry,
+    register_design,
+    register_spec,
+    registry,
+)
+
+__all__ = [
+    "DesignSpec",
+    "DesignEntry",
+    "DesignRegistry",
+    "SpecEntry",
+    "parse_grid",
+    "parse_grid_value",
+    "register_design",
+    "register_spec",
+    "registry",
+]

@@ -1,0 +1,177 @@
+"""Declarative design specifications.
+
+A :class:`DesignSpec` names one point of the heterogeneous-memory design
+space: a registered *base* design (Bumblebee, Banshee, Hybrid2, ...)
+plus typed parameter overrides (``chbm_ratio``, ``allocation``,
+``sram_bytes``, ``multiplexed``, ...).  Specs are plain data — they
+serialise to/from JSON deterministically and hash stably across
+processes and sessions — so design construction becomes configuration
+the campaign, cache, and sweep layers can carry around, persist, and
+key on, instead of code an if/elif factory hides.
+
+The hash contract matters: result-cache keys incorporate
+:attr:`DesignSpec.spec_hash`, so two parameterisations of one base
+design can never collide in the cache, and the same spec always maps
+to the same entry no matter which process or session computed it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+#: JSON-scalar types a spec parameter may take.
+SCALARS = (str, int, float, bool, type(None))
+
+
+def _format_value(value: Any) -> str:
+    """Compact human form of one parameter value (for derived names)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """One buildable point of the design space.
+
+    Args:
+        base: Name of a registered base design (see
+            :class:`~repro.designs.registry.DesignRegistry`).
+        params: Parameter overrides for the base design's builder.  A
+            mapping (or key/value pair sequence); values must be JSON
+            scalars.  Stored sorted by key, so two specs with the same
+            overrides are equal and hash identically regardless of the
+            order the parameters were given in.
+        name: Display name.  Defaults to ``base`` when there are no
+            overrides, else ``base[k=v,...]`` over the sorted params.
+
+    The frozen dataclass is hashable and picklable, so specs travel as
+    campaign cells into worker processes and compare by value.
+    """
+
+    base: str
+    params: tuple[tuple[str, Any], ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        params = self.params
+        if isinstance(params, Mapping):
+            pairs = params.items()
+        else:
+            pairs = tuple(params)
+        normalised = tuple(sorted((str(k), v) for k, v in pairs))
+        seen = set()
+        for key, value in normalised:
+            if key in seen:
+                raise ValueError(f"duplicate spec parameter {key!r}")
+            seen.add(key)
+            if not isinstance(value, SCALARS):
+                raise TypeError(
+                    f"spec parameter {key}={value!r} is not a JSON "
+                    f"scalar (str/int/float/bool/None)")
+        object.__setattr__(self, "params", normalised)
+        if not self.base:
+            raise ValueError("spec needs a base design name")
+        if not self.name:
+            object.__setattr__(self, "name", self._derived_name())
+
+    def _derived_name(self) -> str:
+        if not self.params:
+            return self.base
+        inner = ",".join(f"{k}={_format_value(v)}" for k, v in self.params)
+        return f"{self.base}[{inner}]"
+
+    # ---- views -----------------------------------------------------------
+
+    @property
+    def param_dict(self) -> dict[str, Any]:
+        """The overrides as a plain dict (sorted key order)."""
+        return dict(self.params)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.param_dict.get(key, default)
+
+    def with_params(self, **overrides: Any) -> "DesignSpec":
+        """A new spec with additional/replaced overrides (name rederived)."""
+        merged = self.param_dict
+        merged.update(overrides)
+        return DesignSpec(base=self.base, params=merged)
+
+    # ---- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-dict dump (stable key order; JSON-ready)."""
+        return {"name": self.name, "base": self.base,
+                "params": self.param_dict}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DesignSpec":
+        return cls(base=payload["base"],
+                   params=dict(payload.get("params") or {}),
+                   name=payload.get("name") or "")
+
+    def to_json(self) -> str:
+        """Canonical JSON text: sorted keys, compact separators.
+
+        The canonical form is the hashing pre-image, so it is
+        deterministic across processes, sessions, and parameter order.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "DesignSpec":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def spec_hash(self) -> str:
+        """SHA-256 over the canonical JSON form (stable across runs)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def parse_grid_value(token: str) -> Any:
+    """One grid token as a typed scalar: bool, None, int, float, or str."""
+    lowered = token.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token.strip()
+
+
+def parse_grid(items: Sequence[str]) -> dict[str, list[Any]]:
+    """Parse ``key=v1,v2,...`` tokens into an ordered grid mapping.
+
+    This is the ``repro sweep --grid`` syntax: each item names one
+    parameter and its comma-separated values; the expansion order
+    follows the order the items were given in.
+
+    Raises:
+        ValueError: on a malformed item or a repeated key.
+    """
+    grid: dict[str, list[Any]] = {}
+    for item in items:
+        key, sep, values = item.partition("=")
+        key = key.strip()
+        if not sep or not key or not values.strip():
+            raise ValueError(
+                f"bad grid item {item!r}; expected key=v1,v2,...")
+        if key in grid:
+            raise ValueError(f"grid parameter {key!r} given twice")
+        grid[key] = [parse_grid_value(tok) for tok in values.split(",")]
+    if not grid:
+        raise ValueError("empty grid")
+    return grid

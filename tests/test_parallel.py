@@ -97,7 +97,8 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         harness = ExperimentHarness(FAST, cache=cache)
         computed = harness.run_design("Bumblebee", "leela")
-        entry = next(tmp_path.glob("*.json"))
+        key = harness._comparison_key("Bumblebee", "leela")
+        entry = tmp_path / f"{key}.json"
         entry.write_text("{ not json at all")
         healed = ExperimentHarness(FAST, cache=ResultCache(tmp_path))
         assert healed.run_design("Bumblebee", "leela") == computed
@@ -107,7 +108,8 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         harness = ExperimentHarness(FAST, cache=cache)
         computed = harness.run_design("Bumblebee", "leela")
-        entry = next(tmp_path.glob("*.json"))
+        key = harness._comparison_key("Bumblebee", "leela")
+        entry = tmp_path / f"{key}.json"
         wrapped = json.loads(entry.read_text())
         wrapped["record"]["norm_ipc"] = 99.0    # poison, stale digest
         entry.write_text(json.dumps(wrapped))
