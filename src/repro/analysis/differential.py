@@ -1,12 +1,14 @@
-"""Differential replay: cross-check the packed and object trace paths.
+"""Differential replay: cross-check every trace execution path.
 
-The simulator has two execution paths — object replay (an iterable of
-:class:`~repro.sim.request.MemoryRequest`) and the packed fast path
-(:meth:`~repro.traces.packed.PackedTrace.replay`) — plus an opt-in
-checked loop.  All three must produce bit-identical
-:class:`~repro.sim.driver.SimResult`\\ s.  This harness replays
-randomized synthetic traces through every requested design on all
-paths, diffs the results field by field, runs the
+The simulator has four execution paths — object replay (an iterable of
+:class:`~repro.sim.request.MemoryRequest`), the packed fast path
+(:meth:`~repro.traces.packed.PackedTrace.replay`), the opt-in checked
+loop, and the vectorized batch kernel
+(:mod:`repro.sim.vectorized`; ``engine="vector"``, which falls back to
+the scalar loop on designs without a batch plan).  All four must
+produce bit-identical :class:`~repro.sim.driver.SimResult`\\ s.  This
+harness replays randomized synthetic traces through every requested
+design on all paths, diffs the results field by field, runs the
 :class:`~repro.sanitize.InvariantChecker` over the checked replay, and
 shrinks any failing trace to a minimal reproducer written to disk
 (ddmin; see :mod:`repro.sanitize.shrink`).
@@ -152,10 +154,11 @@ class DifferentialReport:
 
 def _replay_all_paths(design: str, trace: PackedTrace,
                       hbm_config: DeviceConfig, dram_config: DeviceConfig,
-                      workload: str, warmup: int, epoch_requests: int
+                      workload: str, warmup: int, epoch_requests: int,
+                      vector_epoch: int | None = None
                       ) -> tuple[list[str], list[str], InvariantChecker]:
-    """Run object, packed, and checked replays; return (diffs,
-    violations, checker)."""
+    """Run object, packed, checked, and vectorized replays; return
+    (diffs, violations, checker)."""
     driver = SimulationDriver()
     object_result = driver.run(
         make_controller(design, hbm_config, dram_config), iter(trace),
@@ -171,15 +174,24 @@ def _replay_all_paths(design: str, trace: PackedTrace,
         workload=workload, warmup=warmup)
     diffs += [f"checked-vs-fast {d}"
               for d in diff_results(packed_result, checked_result)]
+    # The fourth path: batch-capable designs exercise the vectorized
+    # kernel; everything else falls back to the scalar loop, which
+    # keeps the equality trivially true and the sweep uniform.
+    vector_result = SimulationDriver(vector_epoch=vector_epoch).run(
+        make_controller(design, hbm_config, dram_config), trace,
+        workload=workload, warmup=warmup, engine="vector")
+    diffs += [f"vectorized-vs-packed {d}"
+              for d in diff_results(packed_result, vector_result)]
     return diffs, list(checker.violations), checker
 
 
 def _case_fails(design: str, trace: PackedTrace,
                 hbm_config: DeviceConfig, dram_config: DeviceConfig,
-                warmup: int, epoch_requests: int) -> bool:
+                warmup: int, epoch_requests: int,
+                vector_epoch: int | None = None) -> bool:
     diffs, violations, _ = _replay_all_paths(
         design, trace, hbm_config, dram_config, "shrink", warmup,
-        epoch_requests)
+        epoch_requests, vector_epoch)
     return bool(diffs or violations)
 
 
@@ -235,13 +247,16 @@ def run_differential(designs: Sequence[str] | None = None,
                      out_dir: str | Path = "sanitize-failures",
                      shrink_budget: int = 60,
                      shrink_seconds: "float | None" = 120.0,
-                     progress: Callable[[str], None] | None = None
+                     progress: Callable[[str], None] | None = None,
+                     vector_epoch: int | None = None
                      ) -> DifferentialReport:
     """Cross-check every (design, seed) pair on all execution paths.
 
     For each pair a randomized synthetic trace is replayed through the
-    object path, the packed fast path, and the sanitizer-checked loop;
-    any result divergence or invariant violation fails the case, and
+    object path, the packed fast path, the sanitizer-checked loop, and
+    the vectorized batch engine (scalar fallback on designs without a
+    batch plan); any result divergence or invariant violation fails
+    the case, and
     the failing trace is ddmin-shrunk (at ``warmup=0`` when the failure
     survives without warm-up) to a minimal reproducer under
     ``out_dir``.
@@ -255,10 +270,12 @@ def run_differential(designs: Sequence[str] | None = None,
         scale: System scale of the simulated machine.
         out_dir: Where failing reproducers are written.
         shrink_budget: Max predicate evaluations spent shrinking one
-            failing case (each evaluation re-simulates three paths).
+            failing case (each evaluation re-simulates four paths).
         shrink_seconds: Wall-clock budget per shrink; on expiry the
             best-so-far reduction is persisted (None = no time bound).
         progress: Optional per-case sink (e.g. ``print``).
+        vector_epoch: Epoch size for the vectorized leg (None = the
+            engine default); small values stress cross-epoch carries.
     """
     designs = list(designs) if designs else list(SANITIZE_DESIGNS)
     hbm_config, dram_config = fitted_devices(scale)
@@ -273,7 +290,7 @@ def run_differential(designs: Sequence[str] | None = None,
             ).generate_packed(requests)
             diffs, violations, checker = _replay_all_paths(
                 design, trace, hbm_config, dram_config, spec.name,
-                warmup, epoch_requests)
+                warmup, epoch_requests, vector_epoch)
             epochs += checker.epochs_checked
             checked += checker.requests_checked
             case = DiffCase(design=design, seed=seed, workload=spec.name,
@@ -283,7 +300,7 @@ def run_differential(designs: Sequence[str] | None = None,
                 case.reproducer = str(_shrink_and_write(
                     design, seed, trace, case, hbm_config, dram_config,
                     warmup, epoch_requests, Path(out_dir), shrink_budget,
-                    shrink_seconds))
+                    shrink_seconds, vector_epoch))
             cases.append(case)
             if progress is not None:
                 status = "ok" if case.passed else "FAIL"
@@ -299,18 +316,19 @@ def _shrink_and_write(design: str, seed: int, trace: PackedTrace,
                       dram_config: DeviceConfig, warmup: int,
                       epoch_requests: int, out_dir: Path,
                       shrink_budget: int,
-                      shrink_seconds: "float | None" = None) -> Path:
+                      shrink_seconds: "float | None" = None,
+                      vector_epoch: int | None = None) -> Path:
     """Shrink a failing case and persist the minimal reproducer."""
     # Shrinking below the warm-up length is impossible while the
     # boundary reset participates, so prefer reproducing without it.
     shrink_warmup = warmup
     if warmup and _case_fails(design, trace, hbm_config, dram_config,
-                              0, epoch_requests):
+                              0, epoch_requests, vector_epoch):
         shrink_warmup = 0
     minimal = shrink_trace(
         trace,
         lambda t: _case_fails(design, t, hbm_config, dram_config,
-                              shrink_warmup, epoch_requests),
+                              shrink_warmup, epoch_requests, vector_epoch),
         max_tests=shrink_budget, max_seconds=shrink_seconds)
     path = out_dir / f"{_safe_name(design)}_seed{seed}.repro.trace"
     write_reproducer(path, minimal, {

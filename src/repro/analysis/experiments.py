@@ -76,6 +76,14 @@ class ExperimentConfig:
     stores byte-identical streams — so it is deliberately *excluded*
     from result-cache keys, and it rides the frozen config into worker
     processes so every ``--jobs`` worker shares one store.
+
+    ``engine`` selects the replay engine passed to every
+    :meth:`~repro.sim.driver.SimulationDriver.run` ("auto", "scalar",
+    or "vector"; see :mod:`repro.sim.vectorized`).  Like the trace
+    cache it cannot change any simulated result — the vectorized
+    kernel is bit-identical to the scalar loop — so it is likewise
+    excluded from result-cache keys, and it rides the frozen config
+    into ``--jobs`` worker processes.
     """
 
     scale: SystemScale = DEFAULT_SCALE
@@ -85,6 +93,7 @@ class ExperimentConfig:
     cpu: CpuModel = CpuModel()
     workloads: tuple[str, ...] = tuple(SPEC2017)
     trace_cache_dir: str | None = None
+    engine: str = "auto"
 
 
 def fitted_devices(scale: SystemScale, page_bytes: int = 64 * KIB,
@@ -300,7 +309,7 @@ class ExperimentHarness:
                                          self.dram_config)
             result = self.driver.run(
                 controller, self.trace(workload), workload=workload,
-                warmup=self.config.warmup)
+                warmup=self.config.warmup, engine=self.config.engine)
             self._baselines[workload] = result
             if key is not None:
                 self.cache_put(key, result.to_record())
@@ -313,7 +322,8 @@ class ExperimentHarness:
         return time.perf_counter(), self.gen_seconds, counters
 
     def _record_timing(self, design: "str | DesignSpec", workload: str,
-                       snapshot: tuple) -> None:
+                       snapshot: tuple,
+                       engine: dict[str, float] | None = None) -> None:
         """Store one cell's generation/simulation split and cache deltas."""
         start, gen_before, counters_before = snapshot
         elapsed = time.perf_counter() - start
@@ -328,7 +338,25 @@ class ExperimentHarness:
                      if after is not None and counters_before is not None
                      else 0)
             timing[f"trace_{name}"] = delta
+        if engine is not None:
+            timing.update(engine)
         self._cell_timings[(self._timing_label(design), workload)] = timing
+
+    def _engine_timing(self) -> dict[str, float]:
+        """The driver's engine choice for the run that just finished, as
+        numeric timing keys (``Campaign.timing_summary`` sums every
+        timing value, so engine choice is encoded as 0/1 indicators and
+        epoch counts rather than strings).  Cells served from a cache
+        never simulated, so they carry no engine keys at all."""
+        driver = self.driver
+        return {
+            "engine_vector": 1.0 if driver.last_engine == "vector"
+            else 0.0,
+            "engine_scalar": 0.0 if driver.last_engine == "vector"
+            else 1.0,
+            "vector_epochs": float(driver.last_vector_epochs),
+            "scalar_epochs": float(driver.last_scalar_epochs),
+        }
 
     def cell_timing(self, design: "str | DesignSpec",
                     workload: str) -> dict[str, float]:
@@ -368,13 +396,17 @@ class ExperimentHarness:
             sram_bytes=self.config.scale.sram_bytes)
         result = self.driver.run(controller, self.trace(workload),
                                  workload=workload,
-                                 warmup=self.config.warmup)
+                                 warmup=self.config.warmup,
+                                 engine=self.config.engine)
+        # Capture the engine choice before baseline() can overwrite the
+        # driver's last-run bookkeeping with its own (No-HBM) run.
+        engine = self._engine_timing()
         comparison = compare(result, self.baseline(workload))
         self._comparisons[(spec, workload)] = comparison
         if self.cache is not None:
             self.cache_put(self._comparison_key(spec, workload),
                            dataclasses.asdict(comparison))
-        self._record_timing(spec.name, workload, snapshot)
+        self._record_timing(spec.name, workload, snapshot, engine=engine)
         return comparison
 
     def run_bumblebee(self, bumblebee_config: BumblebeeConfig,
@@ -399,11 +431,13 @@ class ExperimentHarness:
                                          name=name)
         result = self.driver.run(controller, self.trace(workload),
                                  workload=workload,
-                                 warmup=self.config.warmup)
+                                 warmup=self.config.warmup,
+                                 engine=self.config.engine)
+        engine = self._engine_timing()
         comparison = compare(result, self.baseline(workload))
         if key is not None:
             self.cache_put(key, dataclasses.asdict(comparison))
-        self._record_timing(name, workload, snapshot)
+        self._record_timing(name, workload, snapshot, engine=engine)
         return comparison
 
     # ---- Figure 1 ---------------------------------------------------------
@@ -539,7 +573,8 @@ class ExperimentHarness:
                     sram_bytes=self.config.scale.sram_bytes)
                 self.driver.run(controller, self.trace(workload),
                                 workload=workload,
-                                warmup=self.config.warmup)
+                                warmup=self.config.warmup,
+                                engine=self.config.engine)
                 fetched += controller.stats.get("fetched_bytes")
                 unused += controller.stats.get("overfetch_bytes")
             out[design] = unused / fetched if fetched else 0.0
@@ -614,7 +649,8 @@ class ExperimentHarness:
                     sram_bytes=self.config.scale.sram_bytes)
                 result = self.driver.run(controller, self.trace(workload),
                                          workload=workload,
-                                         warmup=self.config.warmup)
+                                         warmup=self.config.warmup,
+                                         engine=self.config.engine)
                 totals[design]["mal_ns"] += result.total_metadata_ns
                 totals[design]["switch_bytes"] += controller.stats.get(
                     "mode_switch_bytes")

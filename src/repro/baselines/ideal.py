@@ -27,6 +27,14 @@ class IdealHBMController(HybridMemoryController):
     def access(self, request: MemoryRequest, now_ns: float) -> AccessResult:
         return self._demand_hbm(request.addr, request, now_ns)
 
+    def batch_plan(self, addrs, is_writes):
+        """Feedback-free placement for the vectorized engine: every
+        request hits HBM, wrapped modulo its capacity — exactly
+        :meth:`access`'s ``_demand_hbm`` arithmetic."""
+        from ..sim.vectorized import BatchPlan
+        return BatchPlan(use_hbm=True,
+                         local_addr=addrs % self._hbm_capacity)
+
     def os_visible_bytes(self) -> int:
         """The oracle never faults: capacity is assumed sufficient."""
         return 1 << 62
@@ -37,6 +45,7 @@ class IdealHBMController(HybridMemoryController):
 
 @register_design(
     "Ideal",
-    description="Infinite-HBM oracle: the performance ceiling")
+    description="Infinite-HBM oracle: the performance ceiling",
+    batch_replayable=True)
 def _build_ideal(hbm_config, dram_config, *, name="Ideal"):
     return IdealHBMController(hbm_config, dram_config, name=name)

@@ -23,6 +23,14 @@ class NoHBMController(HybridMemoryController):
     def access(self, request: MemoryRequest, now_ns: float) -> AccessResult:
         return self._demand_dram(request.addr, request, now_ns)
 
+    def batch_plan(self, addrs, is_writes):
+        """Feedback-free placement for the vectorized engine: every
+        request goes to off-chip DRAM, wrapped modulo its capacity —
+        exactly :meth:`access`'s ``_demand_dram`` arithmetic."""
+        from ..sim.vectorized import BatchPlan
+        return BatchPlan(use_hbm=False,
+                         local_addr=addrs % self._dram_capacity)
+
     def os_visible_bytes(self) -> int:
         """The stack is a cache (or absent): the OS sees only DRAM."""
         return self.dram.capacity_bytes
@@ -31,6 +39,7 @@ class NoHBMController(HybridMemoryController):
 @register_design(
     "No-HBM",
     description="Off-chip DRAM only: the denominator of every "
-                "normalised metric")
+                "normalised metric",
+    batch_replayable=True)
 def _build_no_hbm(hbm_config, dram_config, *, name="No-HBM"):
     return NoHBMController(dram_config, name=name)

@@ -55,6 +55,13 @@ def _add_window_args(parser: argparse.ArgumentParser) -> None:
                         help="warm-up misses before measurement")
     parser.add_argument("--seed", type=int, default=1234,
                         help="trace generator seed")
+    parser.add_argument("--engine", choices=("auto", "scalar", "vector"),
+                        default="auto",
+                        help="replay engine: 'auto' vectorizes "
+                             "batch-capable designs, 'scalar' forces the "
+                             "reference loop, 'vector' requests the batch "
+                             "kernel (scalar fallback where unsupported); "
+                             "results are bit-identical either way")
 
 
 def _jobs_arg(value: str) -> int:
@@ -111,7 +118,8 @@ def _harness(args: argparse.Namespace,
     config = ExperimentConfig(
         requests=args.requests, warmup=args.warmup, seed=args.seed,
         workloads=tuple(workloads) if workloads else tuple(SPEC2017),
-        trace_cache_dir=getattr(args, "trace_cache", None))
+        trace_cache_dir=getattr(args, "trace_cache", None),
+        engine=getattr(args, "engine", "auto"))
     cache = None
     cache_dir = getattr(args, "cache", None)
     if cache_dir is not None:
@@ -253,6 +261,12 @@ def _fill_campaign(args: argparse.Namespace, designs) -> int:
                      f"{timing['trace_misses']:.0f} misses, "
                      f"{timing['trace_generated']:.0f} generated, "
                      f"{timing.get('trace_bytes_read', 0):.0f}B read")
+        if timing.get("engine_vector") or timing.get("engine_scalar"):
+            line += (f"; engines: {timing.get('engine_vector', 0):.0f} "
+                     f"vector / {timing.get('engine_scalar', 0):.0f} "
+                     f"scalar cells "
+                     f"({timing.get('vector_epochs', 0):.0f} vector "
+                     f"epochs)")
         print(line)
     print()
     print(campaign.render(args.metric))
@@ -317,6 +331,9 @@ def cmd_designs(args: argparse.Namespace) -> int:
     print(f"base      : {spec.base}")
     if entry.description:
         print(f"about     : {entry.description}")
+    print("batch     : " + ("vectorized batch replay"
+                            if base.batch_replayable
+                            else "scalar replay only"))
     if entry.figures:
         print("figures   : " + ", ".join(
             f"{fig} bar {index}" for fig, index in entry.figures))
@@ -373,7 +390,8 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
         warmup=args.warmup, epoch_requests=args.epoch,
         out_dir=args.out_dir,
         progress=(lambda line: print(line, flush=True))
-        if args.verbose else None)
+        if args.verbose else None,
+        vector_epoch=args.vector_epoch)
     print(report.render())
     return 0 if report.passed else 1
 
@@ -403,12 +421,13 @@ def cmd_mix(args: argparse.Namespace) -> int:
     driver = SimulationDriver()
     baseline = driver.run(
         make_controller("No-HBM", harness.hbm_config, harness.dram_config),
-        trace, workload=args.preset, warmup=args.warmup)
+        trace, workload=args.preset, warmup=args.warmup,
+        engine=args.engine)
     controller = make_controller(
         args.design, harness.hbm_config, harness.dram_config,
         sram_bytes=harness.config.scale.sram_bytes)
     result = driver.run(controller, trace, workload=args.preset,
-                        warmup=args.warmup)
+                        warmup=args.warmup, engine=args.engine)
     print(f"mix               : {args.preset} "
           f"({', '.join(m.spec.name for m in members)})")
     print(f"design            : {args.design}")
@@ -526,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="warm-up requests before measurement")
     sanitize.add_argument("--epoch", type=int, default=1024,
                           help="invariant-check epoch (requests)")
+    sanitize.add_argument("--vector-epoch", type=int, default=None,
+                          help="epoch size for the vectorized replay "
+                               "leg (default: engine default); small "
+                               "values stress cross-epoch state carry")
     sanitize.add_argument("--out-dir", default="sanitize-failures",
                           help="where failing reproducers are written")
     sanitize.add_argument("--verbose", action="store_true",

@@ -36,12 +36,18 @@ class DesignEntry:
             parameter absent from this mapping is *unsupported* — a
             spec overriding it is rejected at build time.
         description: One-line summary for ``repro designs list``.
+        batch_replayable: Whether controllers built from this design
+            implement the ``batch_plan`` protocol and can take the
+            vectorized replay engine (:mod:`repro.sim.vectorized`).
+            Declarative only — the driver detects the capability on the
+            built controller; tests pin that the two agree.
     """
 
     name: str
     builder: Callable[..., Any]
     params: Mapping[str, Any]
     description: str = ""
+    batch_replayable: bool = False
 
     def supports(self, param: str) -> bool:
         return param in self.params
@@ -77,12 +83,14 @@ class DesignRegistry:
 
     def add_design(self, name: str, builder: Callable[..., Any],
                    params: Mapping[str, Any] | None = None,
-                   description: str = "") -> DesignEntry:
+                   description: str = "",
+                   batch_replayable: bool = False) -> DesignEntry:
         if name in self._designs:
             raise ValueError(f"design {name!r} already registered")
         entry = DesignEntry(name=name, builder=builder,
                             params=dict(params or {}),
-                            description=description)
+                            description=description,
+                            batch_replayable=batch_replayable)
         self._designs[name] = entry
         return entry
 
@@ -273,17 +281,22 @@ registry = DesignRegistry(loader=_load_builtin_designs)
 
 def register_design(name: str, *, params: Mapping[str, Any] | None = None,
                     description: str = "",
-                    figures: Sequence[tuple[str, int]] = ()):
+                    figures: Sequence[tuple[str, int]] = (),
+                    batch_replayable: bool = False):
     """Decorator: register ``builder`` as a base design (plus its spec).
 
     The decorated callable must accept ``(hbm_config, dram_config, *,
     name, **params)`` and return a controller.  An eponymous
     :class:`DesignSpec` with no overrides is registered alongside, so
-    the design is immediately runnable by name.
+    the design is immediately runnable by name.  Designs whose
+    controllers implement ``batch_plan`` declare
+    ``batch_replayable=True`` so tooling can report which designs take
+    the vectorized replay engine.
     """
     def wrap(builder):
         registry.add_design(name, builder, params=params,
-                            description=description)
+                            description=description,
+                            batch_replayable=batch_replayable)
         registry.add_spec(DesignSpec(base=name, name=name),
                           description=description, figures=figures)
         return builder

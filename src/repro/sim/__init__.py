@@ -1,17 +1,24 @@
 """Simulation engine: requests, statistics, events, CPU model, and driver."""
 
 from .cpu import CpuModel
-from .driver import SimResult, SimulationDriver
+from .driver import ENGINES, VECTOR_EPOCH_REQUESTS, SimResult, \
+    SimulationDriver
 from .engine import EventEngine, EventHandle
 from .fullstack import RawAccess, raw_access_stream, run_full_stack
 from .request import (CACHE_LINE_BYTES, AccessResult, MemoryRequest,
                       MutableRequest, ServicedBy)
 from .stats import Histogram, StatGroup, geomean
 
+from .vectorized import BatchPlan, batch_capable
+
 __all__ = [
     "CpuModel",
+    "ENGINES",
+    "VECTOR_EPOCH_REQUESTS",
     "SimResult",
     "SimulationDriver",
+    "BatchPlan",
+    "batch_capable",
     "EventEngine",
     "EventHandle",
     "RawAccess",

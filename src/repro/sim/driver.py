@@ -24,6 +24,13 @@ from .stats import Histogram
 LATENCY_BOUNDS = [10.0, 20.0, 30.0, 50.0, 80.0, 120.0, 200.0, 400.0,
                   1000.0]
 
+#: Epoch granularity of the vectorized batch kernel (requests per
+#: epoch); also the epoch size scalar runs report for comparability.
+VECTOR_EPOCH_REQUESTS = 1 << 16
+
+#: Valid ``engine=`` selectors for :meth:`SimulationDriver.run`.
+ENGINES = ("auto", "scalar", "vector")
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..baselines.base import HybridMemoryController
 
@@ -166,18 +173,34 @@ class SimulationDriver:
             :mod:`repro.sanitize.invariants`) — numerically identical
             results, sanitizer-grade overhead.  When None (the default)
             the unmodified zero-overhead fast loop runs.
+        vector_epoch: Epoch size (requests) of the vectorized batch
+            kernel; None uses :data:`VECTOR_EPOCH_REQUESTS`.  Results
+            are bit-identical at any epoch size (pinned by the
+            sanitizer's ``--vector-epoch`` matrix leg).
+
+    After each :meth:`run` the driver records which engine executed:
+    ``last_engine`` ("vector", "scalar", or "checked") plus
+    ``last_vector_epochs`` / ``last_scalar_epochs`` (epoch counts at
+    the vector epoch granularity) — campaign timing records surface
+    these per cell.
     """
 
     def __init__(self, cpu: CpuModel | None = None,
-                 checker: "object | None" = None) -> None:
+                 checker: "object | None" = None,
+                 vector_epoch: int | None = None) -> None:
         self.cpu = cpu or CpuModel()
         self.checker = checker
+        self.vector_epoch = vector_epoch
+        self.last_engine: str | None = None
+        self.last_vector_epochs = 0
+        self.last_scalar_epochs = 0
 
     def run(self, controller: "HybridMemoryController",
             trace: Iterable[MemoryRequest],
             workload: str = "unnamed",
             max_requests: int | None = None,
-            warmup: int = 0) -> SimResult:
+            warmup: int = 0,
+            engine: str = "auto") -> SimResult:
         """Simulate ``trace`` through ``controller`` to completion.
 
         Args:
@@ -199,6 +222,17 @@ class SimulationDriver:
                 warm-up boundary — the trace-driven equivalent of the
                 paper's SimPoint warm-up, without which one-time
                 cold-start movement dominates the traffic ratios.
+            engine: Replay engine selection.  ``"auto"`` and
+                ``"vector"`` take the vectorized epoch-at-a-time kernel
+                (:mod:`repro.sim.vectorized`) when the trace is packed
+                and the controller is batch-capable, falling back to
+                the scalar loop otherwise; ``"scalar"`` forces the
+                scalar loop.  Engine choice can never change a result —
+                the vector kernel is bit-identical to the scalar loop
+                (pinned by the four-path differential sanitizer).
+
+        Raises:
+            ValueError: for an ``engine`` outside :data:`ENGINES`.
 
         Returns:
             A fully populated :class:`SimResult` (measured window only).
@@ -214,9 +248,29 @@ class SimulationDriver:
         # traces replay through one reused mutable request — the
         # controllers only ever read request fields, so the loop body is
         # identical either way.
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; valid engines: "
+                             f"{', '.join(ENGINES)}")
         if self.checker is not None:
+            self.last_engine = "checked"
+            self.last_vector_epochs = 0
             return self._run_checked(controller, trace, workload,
                                      max_requests, warmup, self.checker)
+        if (engine != "scalar" and isinstance(trace, PackedTrace)
+                and len(trace)):
+            try:
+                from .vectorized import batch_capable, replay_vectorized
+            except ImportError:  # pragma: no cover - numpy declared dep
+                batch_capable = None
+            if batch_capable is not None and batch_capable(controller):
+                result, epochs = replay_vectorized(
+                    self, controller, trace, workload=workload,
+                    max_requests=max_requests, warmup=warmup,
+                    epoch_requests=self.vector_epoch)
+                self.last_engine = "vector"
+                self.last_vector_epochs = epochs
+                self.last_scalar_epochs = 0
+                return result
         if isinstance(trace, PackedTrace):
             trace = trace.replay()
         cpu = self.cpu
@@ -267,6 +321,10 @@ class SimulationDriver:
         now_ns -= measure_start_ns
         histogram = Histogram(bounds=list(LATENCY_BOUNDS), counts=counts,
                               total=requests)
+        epoch = self.vector_epoch or VECTOR_EPOCH_REQUESTS
+        self.last_engine = "scalar"
+        self.last_vector_epochs = 0
+        self.last_scalar_epochs = -(-seen // epoch)
         return self._build_result(controller, workload, instructions,
                                   requests, now_ns, total_latency,
                                   total_metadata, hbm_hits, histogram)
@@ -337,6 +395,8 @@ class SimulationDriver:
         now_ns -= measure_start_ns
         histogram = Histogram(bounds=list(LATENCY_BOUNDS), counts=counts,
                               total=requests)
+        epoch = self.vector_epoch or VECTOR_EPOCH_REQUESTS
+        self.last_scalar_epochs = -(-seen // epoch)
         sim_result = self._build_result(controller, workload, instructions,
                                         requests, now_ns, total_latency,
                                         total_metadata, hbm_hits, histogram)

@@ -1,0 +1,456 @@
+"""Vectorized epoch-at-a-time replay of packed traces.
+
+The scalar driver loop (:meth:`~repro.sim.driver.SimulationDriver.run`)
+pays Python bytecode dispatch per simulated miss: a controller method
+call, a device decode, a bank FSM step, a channel bus step, and a few
+dataclass allocations.  For *batch-friendly* controllers — designs whose
+placement decision for a request does not depend on the timing feedback
+of earlier requests (No-HBM, the Ideal oracle) — almost all of that work
+is feedback-free and can be computed for a whole epoch of requests as
+numpy array operations:
+
+* bulk decode of the packed ``uint64`` records into ``addr`` /
+  ``is_write`` / ``icount`` columns (the same bit layout as
+  :mod:`repro.traces.packed`);
+* the controller's placement decision for the whole epoch at once (a
+  :class:`BatchPlan` from :meth:`batch_plan`);
+* the interleaved channel/bank/row decode of
+  :class:`~repro.mem.address.AddressMapper` as integer array arithmetic;
+* row-buffer hit/closed/conflict classification per bank via a stable
+  sort by bank id (each access sees the row its bank's *previous* access
+  opened, with the open-row state carried across epoch boundaries);
+* bulk traffic, energy-counter, statistic, and histogram accumulation
+  (:meth:`~repro.sim.stats.Histogram.add_many` on ``np.bincount``).
+
+What cannot be vectorized bit-identically is the sequential float
+recurrence that couples request *i*'s latency to request *i+1*'s arrival
+time (``now += icount/...; arrival = now + fault; done = f(bank, bus);
+now += latency/mlp``).  That recurrence runs as a minimal pure-Python
+loop over pre-converted lists — eight float operations per request
+instead of the scalar path's full controller/device/channel/bank call
+chain — performing *exactly* the same operations in exactly the same
+order as the scalar loop, so every float result is bit-identical.  The
+equivalence is enforced by the four-path differential sanitizer
+(``repro sanitize``) and the property/identity tests.
+
+Controllers opt in by implementing ``batch_plan(addrs, is_writes) ->
+BatchPlan`` and registering with ``batch_replayable=True``; everything
+else falls back to the scalar loop automatically (see
+``SimulationDriver.run(engine=...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+try:
+    import numpy as np
+except ImportError:      # pragma: no cover - numpy is a declared dep
+    np = None            # type: ignore[assignment]
+
+from ..traces.packed import ICOUNT_MAX, LINE_SHIFT, PackedTrace
+from .driver import LATENCY_BOUNDS, VECTOR_EPOCH_REQUESTS
+from .request import CACHE_LINE_BYTES
+from .stats import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..baselines.base import HybridMemoryController
+    from ..mem.device import MemoryDevice
+    from .driver import SimResult, SimulationDriver
+
+__all__ = ["BatchPlan", "batch_capable", "decode_epoch",
+           "replay_vectorized", "VECTOR_EPOCH_REQUESTS"]
+
+
+@dataclass
+class BatchPlan:
+    """A controller's feedback-free placement decision for one epoch.
+
+    Attributes:
+        use_hbm: Which requests the stacked device serves — a scalar
+            bool (the whole epoch goes one way) or a bool array of the
+            epoch's length.  Requests not served by HBM go to off-chip
+            DRAM.
+        local_addr: Device-local byte address per request (already
+            wrapped modulo the serving device's capacity), as an int64
+            array of the epoch's length.
+    """
+
+    use_hbm: Any
+    local_addr: Any
+
+
+def batch_capable(controller: "HybridMemoryController") -> bool:
+    """Whether ``controller`` can take the vectorized path."""
+    return np is not None and callable(getattr(controller, "batch_plan",
+                                               None))
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - numpy is a declared dep
+        raise RuntimeError("the vectorized engine requires numpy")
+
+
+def decode_epoch(trace: PackedTrace, start: int = 0,
+                 stop: int | None = None):
+    """Bulk-decode ``trace[start:stop]`` into column arrays.
+
+    Returns:
+        ``(addr, is_write, icount)`` — int64, bool, and int64 arrays,
+        element-for-element equal to
+        :func:`~repro.traces.packed.decode_value` on each record.
+    """
+    _require_numpy()
+    values = np.frombuffer(trace.data, dtype=np.uint64)[start:stop]
+    return _decode_values(values)
+
+
+def _decode_values(values):
+    """The packed bit layout (LINE_SHIFT/ICOUNT_BITS) as array ops."""
+    line = (values >> np.uint64(LINE_SHIFT)).astype(np.int64)
+    addr = line * CACHE_LINE_BYTES
+    is_write = (values & np.uint64(1)).astype(bool)
+    icount = ((values >> np.uint64(1))
+              & np.uint64(ICOUNT_MAX)).astype(np.int64)
+    return addr, is_write, icount
+
+
+class _Lane:
+    """Hoisted per-device constants (mirrors Device/Channel/Bank init).
+
+    ``code`` indexes the (2, ...) latency/burst lookup tables: 0 = the
+    stacked device, 1 = off-chip DRAM.  Channel and bank ids are
+    globalised by the offsets so one flat state array covers both
+    devices.
+    """
+
+    __slots__ = ("device", "code", "capacity", "interleave", "nchannels",
+                 "row_bytes", "banks", "chan_offset", "bank_offset",
+                 "lat", "burst_ns", "bursts_per_access")
+
+    def __init__(self, device: "MemoryDevice", code: int,
+                 chan_offset: int, bank_offset: int) -> None:
+        g = device.config.geometry
+        t = device.config.timings
+        self.device = device
+        self.code = code
+        self.capacity = g.capacity_bytes
+        self.interleave = g.interleave_bytes
+        self.nchannels = g.channels
+        self.row_bytes = g.row_bytes
+        self.banks = g.banks_per_channel
+        self.chan_offset = chan_offset
+        self.bank_offset = bank_offset
+        # Same hoists as Bank.__init__ / Channel.__init__, so the float
+        # constants entering the recurrence are bit-equal to theirs.
+        self.lat = (t.row_hit_ns, t.row_closed_ns, t.row_conflict_ns)
+        bus = g.bus_bytes
+        beats = (CACHE_LINE_BYTES + bus - 1) // bus
+        self.burst_ns = (beats if beats > 1 else 1) * (t.tck_ns / 2.0)
+        burst_bytes = t.burst_length * bus
+        bursts = (CACHE_LINE_BYTES + burst_bytes - 1) // burst_bytes
+        self.bursts_per_access = bursts if bursts > 1 else 1
+
+
+def _segments(n: int, max_requests: int | None,
+              warmup: int) -> list[tuple[int, int, bool]]:
+    """``(start, stop, measured)`` spans replicating the scalar loop.
+
+    The scalar loop checks the request cap *before* the warm-up reset,
+    so a cap at or below the warm-up length means the reset never fires
+    and the whole (capped) run is measured from t=0.
+    """
+    if warmup and n > warmup and (max_requests is None
+                                  or max_requests > warmup):
+        measured = (n - warmup if max_requests is None
+                    else min(n - warmup, max_requests))
+        return [(0, warmup, False), (warmup, warmup + measured, True)]
+    count = n if max_requests is None else min(n, max_requests)
+    return [(0, count, True)]
+
+
+def replay_vectorized(driver: "SimulationDriver",
+                      controller: "HybridMemoryController",
+                      trace: PackedTrace,
+                      workload: str = "unnamed",
+                      max_requests: int | None = None,
+                      warmup: int = 0,
+                      epoch_requests: int | None = None
+                      ) -> tuple["SimResult", int]:
+    """Replay ``trace`` through the batch kernel.
+
+    Returns:
+        ``(result, epochs)`` — a :class:`~repro.sim.driver.SimResult`
+        bit-identical to the scalar loop's, and the number of epochs
+        processed.
+
+    Raises:
+        ValueError: on a non-positive epoch size or a malformed
+            :class:`BatchPlan` (wrong length, out-of-range local
+            address, HBM use on a design without HBM).
+    """
+    _require_numpy()
+    epoch = int(epoch_requests or VECTOR_EPOCH_REQUESTS)
+    if epoch <= 0:
+        raise ValueError(f"epoch_requests must be positive, got {epoch}")
+
+    cpu = driver.cpu
+    retire_rate = cpu.ipc_peak * cpu.cores
+    freq_ghz = cpu.freq_ghz
+    mlp = cpu.mlp
+
+    # ---- device lanes and lookup tables ---------------------------------
+    lanes: list[_Lane] = []
+    chan_off = bank_off = 0
+    if controller.hbm is not None:
+        hbm_lane = _Lane(controller.hbm, 0, 0, 0)
+        lanes.append(hbm_lane)
+        chan_off = hbm_lane.nchannels
+        bank_off = hbm_lane.nchannels * hbm_lane.banks
+    dram_lane = _Lane(controller.dram, 1, chan_off, bank_off)
+    lanes.append(dram_lane)
+    nch = chan_off + dram_lane.nchannels
+    nbank = bank_off + dram_lane.nchannels * dram_lane.banks
+    lat_table = np.zeros((2, 3), dtype=np.float64)
+    burst_table = np.zeros(2, dtype=np.float64)
+    for lane in lanes:
+        lat_table[lane.code] = lane.lat
+        burst_table[lane.code] = lane.burst_ns
+
+    visible = controller.os_visible_bytes()
+    controller._os_visible_cache = visible
+    fault_penalty = float(controller.PAGE_FAULT_NS)
+    batch_plan = controller.batch_plan
+
+    values_all = np.frombuffer(trace.data, dtype=np.uint64)
+
+    # ---- measured-window accumulators -----------------------------------
+    histogram = Histogram(bounds=list(LATENCY_BOUNDS))
+    reads_per_chan = np.zeros(nch, dtype=np.int64)
+    writes_per_chan = np.zeros(nch, dtype=np.int64)
+    acts_per_chan = np.zeros(nch, dtype=np.int64)
+    hits_per_bank = np.zeros(nbank, dtype=np.int64)
+    closed_per_bank = np.zeros(nbank, dtype=np.int64)
+    conflicts_per_bank = np.zeros(nbank, dtype=np.int64)
+    instructions = 0
+    measured_requests = 0
+    hbm_hits = 0
+    faults = 0
+    demand_reads = 0
+    demand_writes = 0
+    total_latency = 0.0
+
+    now = 0.0
+    measure_start = 0.0
+    epochs = 0
+    segments = _segments(len(trace), max_requests, warmup)
+    for seg_start, seg_stop, measured in segments:
+        if measured and len(segments) == 2:
+            # The warm-up boundary: same effect as the scalar loop's
+            # reset (devices return to power-on FSM state, stats zero).
+            controller.reset_measurements()
+            measure_start = now
+        # Power-on / post-reset device timing state.  One flat array
+        # per quantity, indexed by globalised channel/bank ids; plain
+        # Python lists inside the recurrence (scalar indexing on lists
+        # is much cheaper than on numpy arrays).
+        bank_busy = [0.0] * nbank
+        bus_free = [0.0] * nch
+        chan_busy = [0.0] * nch
+        open_row = np.full(nbank, -1, dtype=np.int64)
+
+        for start in range(seg_start, seg_stop, epoch):
+            stop = min(start + epoch, seg_stop)
+            epochs += 1
+            values = values_all[start:stop]
+            m = values.shape[0]
+            addr, is_write, icount = _decode_values(values)
+
+            # Feedback-free per-request precompute -----------------------
+            comp = icount / retire_rate / freq_ghz
+            fault_mask = addr >= visible
+            fault_arr = np.where(fault_mask, fault_penalty, 0.0)
+
+            plan = batch_plan(addr, is_write)
+            use_hbm = plan.use_hbm
+            if isinstance(use_hbm, (bool, np.bool_)):
+                use_hbm = np.full(m, bool(use_hbm), dtype=bool)
+            else:
+                use_hbm = np.asarray(use_hbm, dtype=bool)
+            local = np.asarray(plan.local_addr, dtype=np.int64)
+            if use_hbm.shape[0] != m or local.shape[0] != m:
+                raise ValueError(
+                    f"batch_plan returned {use_hbm.shape[0]}/"
+                    f"{local.shape[0]} entries for a {m}-request epoch")
+            if controller.hbm is None and use_hbm.any():
+                raise ValueError(
+                    f"batch_plan of {controller.name!r} routed requests "
+                    f"to HBM but the design has no stacked device")
+
+            # Interleaved address decode (AddressMapper as array math) ---
+            chan_gid = np.empty(m, dtype=np.int64)
+            bank_gid = np.empty(m, dtype=np.int64)
+            row = np.empty(m, dtype=np.int64)
+            for lane in lanes:
+                mask = use_hbm if lane.code == 0 else ~use_hbm
+                la = local[mask]
+                if la.size == 0:
+                    continue
+                if int(la.min()) < 0 or int(la.max()) >= lane.capacity:
+                    raise ValueError(
+                        f"batch_plan of {controller.name!r} produced a "
+                        f"local address outside the "
+                        f"{lane.device.name} capacity")
+                chunk = la // lane.interleave
+                ch = chunk % lane.nchannels
+                loc = ((chunk // lane.nchannels) * lane.interleave
+                       + la % lane.interleave)
+                row_index = loc // lane.row_bytes
+                chan_gid[mask] = ch + lane.chan_offset
+                bank_gid[mask] = (lane.bank_offset + ch * lane.banks
+                                  + row_index % lane.banks)
+                row[mask] = row_index // lane.banks
+
+            # Row-buffer outcome classification --------------------------
+            # Stable sort groups each bank's accesses in request order;
+            # every access sees the row its bank's previous access
+            # opened (the bank FSM opens the row unconditionally), with
+            # open_row carrying state across epochs within a segment.
+            order = np.argsort(bank_gid, kind="stable")
+            bank_sorted = bank_gid[order]
+            row_sorted = row[order]
+            prev_row = np.empty(m, dtype=np.int64)
+            if m:
+                prev_row[0] = open_row[bank_sorted[0]]
+                same = bank_sorted[1:] == bank_sorted[:-1]
+                prev_row[1:] = np.where(same, row_sorted[:-1],
+                                        open_row[bank_sorted[1:]])
+            outcome_sorted = np.where(
+                row_sorted == prev_row, 0,
+                np.where(prev_row < 0, 1, 2)).astype(np.int64)
+            outcome = np.empty(m, dtype=np.int64)
+            outcome[order] = outcome_sorted
+            if m:
+                last = np.empty(m, dtype=bool)
+                last[:-1] = bank_sorted[:-1] != bank_sorted[1:]
+                last[-1] = True
+                open_row[bank_sorted[last]] = row_sorted[last]
+
+            device_idx = np.where(use_hbm, 0, 1)
+            lat = lat_table[device_idx, outcome]
+            burst = burst_table[device_idx]
+
+            # The sequential float recurrence ----------------------------
+            # Exactly the scalar chain, operation for operation:
+            #   now += comp; arrival = now + fault
+            #   issue = max(arrival, bank_busy); data = issue + lat
+            #   done = max(data, bus_free) + burst
+            #   latency = (done - arrival) + fault; now += latency / mlp
+            # (The scalar path's "+ 0.0" metadata and movement
+            # interference terms are exact float no-ops and elided.)
+            comp_l = comp.tolist()
+            fault_l = fault_arr.tolist()
+            bank_l = bank_gid.tolist()
+            chan_l = chan_gid.tolist()
+            lat_l = lat.tolist()
+            burst_l = burst.tolist()
+            latencies: list[float] = []
+            append = latencies.append
+            running = total_latency
+            t = now
+            for comp_i, fault_i, b, c, lat_i, burst_i in zip(
+                    comp_l, fault_l, bank_l, chan_l, lat_l, burst_l):
+                t += comp_i
+                arrival = t + fault_i
+                busy = bank_busy[b]
+                data = (arrival if arrival > busy else busy) + lat_i
+                bank_busy[b] = data
+                free = bus_free[c]
+                done = (data if data > free else free) + burst_i
+                bus_free[c] = done
+                if done > chan_busy[c]:
+                    chan_busy[c] = done
+                latency = (done - arrival) + fault_i
+                running += latency
+                t += latency / mlp
+                append(latency)
+            now = t
+
+            if not measured:
+                continue
+
+            # Bulk accumulation (measured window only) -------------------
+            total_latency = running
+            histogram.add_many(latencies)
+            instructions += int(icount.sum())
+            measured_requests += m
+            hbm_hits += int(use_hbm.sum())
+            faults += int(fault_mask.sum())
+            writes = int(is_write.sum())
+            demand_writes += writes
+            demand_reads += m - writes
+            reads_per_chan += np.bincount(chan_gid[~is_write],
+                                          minlength=nch)
+            writes_per_chan += np.bincount(chan_gid[is_write],
+                                           minlength=nch)
+            acts_per_chan += np.bincount(chan_gid[outcome != 0],
+                                         minlength=nch)
+            hits_per_bank += np.bincount(bank_gid[outcome == 0],
+                                         minlength=nbank)
+            closed_per_bank += np.bincount(bank_gid[outcome == 1],
+                                           minlength=nbank)
+            conflicts_per_bank += np.bincount(bank_gid[outcome == 2],
+                                              minlength=nbank)
+
+    # ---- write the measured state back into the controller ---------------
+    # The stats bumps are conditional: the scalar loop only creates a
+    # counter key when it actually increments, and controller_stats
+    # equality is exact (a spurious zero-valued key would diverge).
+    bump = controller.stats.bump
+    if demand_reads:
+        bump("demand_reads", demand_reads)
+    if demand_writes:
+        bump("demand_writes", demand_writes)
+    if hbm_hits:
+        bump("hbm_demand_hits", hbm_hits)
+    if faults:
+        bump("page_faults", faults)
+    for lane in lanes:
+        per_access = lane.bursts_per_access
+        for index, channel in enumerate(lane.device.channels):
+            gid = lane.chan_offset + index
+            reads = int(reads_per_chan[gid])
+            writes = int(writes_per_chan[gid])
+            channel.read_bytes += reads * CACHE_LINE_BYTES
+            channel.write_bytes += writes * CACHE_LINE_BYTES
+            counters = channel.counters
+            counters.activations += int(acts_per_chan[gid])
+            counters.read_bursts += reads * per_access
+            counters.write_bursts += writes * per_access
+            if chan_busy[gid] > counters.busy_ns:
+                counters.busy_ns = chan_busy[gid]
+            if bus_free[gid] > channel._bus_free_ns:
+                channel._bus_free_ns = bus_free[gid]
+            # _backlog_at_ns (the movement-drain watermark) is left
+            # untouched: batch designs never queue movement, the value
+            # is unobservable in a finished SimResult, and tracking the
+            # last per-channel arrival would serialise the kernel.
+            for bank_index, bank in enumerate(channel.banks):
+                bgid = (lane.bank_offset + index * lane.banks
+                        + bank_index)
+                bank.hits += int(hits_per_bank[bgid])
+                bank.closed += int(closed_per_bank[bgid])
+                bank.conflicts += int(conflicts_per_bank[bgid])
+                if bank_busy[bgid] > bank._busy_until_ns:
+                    bank._busy_until_ns = bank_busy[bgid]
+                final_row = int(open_row[bgid])
+                if final_row >= 0:
+                    bank._open_row = final_row
+
+    controller.finish(now)
+    elapsed = now - measure_start
+    result = driver._build_result(
+        controller, workload, instructions, measured_requests, elapsed,
+        total_latency, 0.0, hbm_hits, histogram)
+    return result, epochs

@@ -108,7 +108,16 @@ class PackedTrace:
 
     @classmethod
     def frombytes(cls, raw: bytes) -> "PackedTrace":
-        """Rebuild a trace from :meth:`tobytes` output (little-endian)."""
+        """Rebuild a trace from :meth:`tobytes` output (little-endian).
+
+        Raises:
+            ValueError: when ``raw`` is not a whole number of packed
+                 words — a truncated or corrupt payload.
+        """
+        if len(raw) % 8:
+            raise ValueError(
+                f"packed trace payload must be a multiple of 8 bytes "
+                f"(one uint64 per request), got {len(raw)} bytes")
         data = array("Q")
         data.frombytes(raw)
         if sys.byteorder != "little":

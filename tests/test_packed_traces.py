@@ -71,6 +71,14 @@ class TestEncoding:
         assert len(clone) == N
         assert clone.nbytes == 8 * N
 
+    def test_frombytes_rejects_truncated_payload(self):
+        payload = SyntheticTraceGenerator(SPEC, seed=7) \
+            .generate_packed(4).tobytes()
+        for cut in (1, 7, 9, len(payload) - 3):
+            with pytest.raises(ValueError, match="multiple of 8"):
+                PackedTrace.frombytes(payload[:cut])
+        assert len(PackedTrace.frombytes(payload[:16])) == 2
+
 
 class TestGeneratorIdentity:
     def test_packed_matches_object_stream(self):

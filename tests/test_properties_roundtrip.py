@@ -1,5 +1,8 @@
-"""Property-based round-trip tests: address interleaving and packed
-trace encoding are exact inverses across their whole domains."""
+"""Property-based round-trip tests: address interleaving, packed trace
+encoding, and the vectorized batch decode are exact inverses (or exact
+mirrors) across their whole domains."""
+
+from array import array
 
 import pytest
 from hypothesis import given, settings
@@ -13,9 +16,12 @@ from repro.mem import (
 )
 from repro.mem.address import AddressMapper, DecodedAddress
 from repro.sim.request import CACHE_LINE_BYTES
+from repro.sim.stats import Histogram
+from repro.sim.vectorized import decode_epoch
 from repro.traces.packed import (
     ICOUNT_MAX,
     LINE_MAX,
+    PackedTrace,
     decode_value,
     encode_request,
 )
@@ -104,3 +110,81 @@ class TestPackedRoundTrip:
             encode_request(0, False, ICOUNT_MAX + 1)
         with pytest.raises(ValueError):
             encode_request(CACHE_LINE_BYTES + 1, False, 1)
+
+
+_REQUEST = st.tuples(st.integers(0, LINE_MAX), st.booleans(),
+                     st.integers(0, ICOUNT_MAX))
+
+
+def _pack(requests):
+    return PackedTrace(array("Q", [
+        encode_request(line * CACHE_LINE_BYTES, is_write, icount)
+        for line, is_write, icount in requests]))
+
+
+class TestBatchDecode:
+    @settings(max_examples=100, deadline=None)
+    @given(requests=st.lists(_REQUEST, min_size=1, max_size=64),
+           data=st.data())
+    def test_batch_decode_matches_scalar(self, requests, data):
+        """Any epoch window of the numpy decode equals per-value
+        ``decode_value`` — same addresses, flags, and icounts."""
+        trace = _pack(requests)
+        start = data.draw(st.integers(0, len(trace) - 1))
+        stop = data.draw(st.integers(start + 1, len(trace)))
+        addr, is_write, icount = decode_epoch(trace, start, stop)
+        expected = [decode_value(value)
+                    for value in trace.data[start:stop]]
+        assert list(zip(addr.tolist(), is_write.tolist(),
+                        icount.tolist())) == expected
+
+    @pytest.mark.parametrize("line", [0, 1, LINE_MAX - 1, LINE_MAX])
+    @pytest.mark.parametrize("icount", [0, 1, ICOUNT_MAX - 1, ICOUNT_MAX])
+    @pytest.mark.parametrize("is_write", [False, True])
+    def test_bit_budget_corners(self, line, icount, is_write):
+        """The extreme packed-field corners survive the uint64 ->
+        int64 casts of the batch decode without sign or width loss."""
+        trace = _pack([(line, is_write, icount)])
+        addr, write_arr, icount_arr = decode_epoch(trace)
+        assert (int(addr[0]), bool(write_arr[0]), int(icount_arr[0])) \
+            == (line * CACHE_LINE_BYTES, is_write, icount)
+
+
+class TestHistogramAddMany:
+    BOUNDS = [10.0, 20.0, 50.0, 100.0]
+
+    @settings(max_examples=100, deadline=None)
+    @given(samples=st.lists(
+        st.one_of(st.floats(0.0, 200.0, allow_nan=False),
+                  st.sampled_from([10.0, 20.0, 50.0, 100.0])),
+        max_size=64))
+    def test_add_many_equals_repeated_add(self, samples):
+        """Bulk binning lands every sample — including values exactly
+        on a bucket bound — in the same bucket as scalar ``add``."""
+        one_by_one = Histogram(bounds=list(self.BOUNDS))
+        for sample in samples:
+            one_by_one.add(sample)
+        bulk = Histogram(bounds=list(self.BOUNDS))
+        bulk.add_many(samples)
+        assert bulk == one_by_one
+        assert bulk.total == len(samples)
+
+    @settings(max_examples=50, deadline=None)
+    @given(weighted=st.lists(
+        st.tuples(st.floats(0.0, 200.0, allow_nan=False),
+                  st.integers(0, 5)),
+        max_size=32))
+    def test_weighted_add_many(self, weighted):
+        one_by_one = Histogram(bounds=list(self.BOUNDS))
+        for sample, weight in weighted:
+            for _ in range(weight):
+                one_by_one.add(sample)
+        bulk = Histogram(bounds=list(self.BOUNDS))
+        bulk.add_many([s for s, _ in weighted],
+                      weights=[w for _, w in weighted])
+        assert bulk == one_by_one
+
+    def test_weight_shape_mismatch_rejected(self):
+        histogram = Histogram(bounds=list(self.BOUNDS))
+        with pytest.raises(ValueError):
+            histogram.add_many([1.0, 2.0], weights=[1])

@@ -1,0 +1,194 @@
+"""The vectorized batch replay engine (``repro.sim.vectorized``).
+
+The contract mirrors ``tests/test_packed_traces.py``'s: the vectorized
+kernel is an *engine*, not a model — every :class:`SimResult` it
+produces must be bit-identical to the scalar reference loop, across
+warm-up boundaries, request caps, epoch sizes, and page-fault-heavy
+footprints.  Designs without a batch plan must fall back to the scalar
+loop transparently, the registry's declared ``batch_replayable`` flag
+must agree with what the built controllers actually implement, and the
+harness must record which engine ran in its per-cell timing.
+"""
+
+from array import array
+
+import pytest
+
+from repro import ExperimentConfig, ExperimentHarness
+from repro.baselines import make_controller
+from repro.designs import registry
+from repro.sim import SimulationDriver, batch_capable
+from repro.traces import SyntheticTraceGenerator, synthetic_spec
+from repro.traces.packed import PackedTrace, encode_request
+
+CONFIG = ExperimentConfig(requests=1200, warmup=400, workloads=("mcf",))
+BATCH_DESIGNS = ("No-HBM", "Ideal")
+N = 1700
+
+
+def _trace(harness, n=N, seed=None):
+    spec = synthetic_spec("mcf", harness.config.scale)
+    return SyntheticTraceGenerator(
+        spec, seed=seed if seed is not None else harness.config.seed
+    ).generate_packed(n)
+
+
+def _run(harness, design, trace, engine, warmup=0, max_requests=None,
+         vector_epoch=None):
+    driver = SimulationDriver(harness.config.cpu,
+                              vector_epoch=vector_epoch)
+    result = driver.run(
+        make_controller(design, harness.hbm_config, harness.dram_config,
+                        sram_bytes=harness.config.scale.sram_bytes),
+        trace, workload="mcf", max_requests=max_requests, warmup=warmup,
+        engine=engine)
+    return result, driver
+
+
+class TestBitIdentity:
+    def test_batch_designs_identical_to_scalar(self):
+        """Vector == scalar over warm-up x cap combinations.
+
+        ``warmup=400, max_requests=200`` pins the cap-inside-warm-up
+        edge, where the scalar loop never reaches the measurement
+        reset and the whole run is one segment.
+        """
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness)
+        for design in BATCH_DESIGNS:
+            for warmup in (0, 400):
+                for cap in (None, 200, 700):
+                    scalar, _ = _run(harness, design, trace, "scalar",
+                                     warmup=warmup, max_requests=cap)
+                    vector, driver = _run(harness, design, trace,
+                                          "vector", warmup=warmup,
+                                          max_requests=cap)
+                    label = (design, warmup, cap)
+                    assert driver.last_engine == "vector", label
+                    assert vector == scalar, label
+
+    def test_cross_epoch_state_carry(self):
+        """Tiny epochs force bank/bus/open-row state across epoch
+        boundaries; the result must not change."""
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness)
+        for design in BATCH_DESIGNS:
+            scalar, _ = _run(harness, design, trace, "scalar",
+                             warmup=400)
+            vector, driver = _run(harness, design, trace, "vector",
+                                  warmup=400, vector_epoch=64)
+            assert vector == scalar, design
+            # Epochs count per segment: warm-up and measured windows
+            # each round up to whole epochs.
+            assert driver.last_vector_epochs \
+                == -(-400 // 64) + -(-(N - 400) // 64)
+
+    def test_fault_heavy_footprint_identical(self):
+        """Addresses past the OS-visible window fault on No-HBM; the
+        vectorized fault penalty and accounting must match exactly."""
+        harness = ExperimentHarness(CONFIG)
+        probe = make_controller("No-HBM", harness.hbm_config,
+                                harness.dram_config)
+        lines = 2 * probe.os_visible_bytes() // 64
+        stride = lines // 400 + 1       # span the whole 2x window
+        trace = PackedTrace(array("Q", [
+            encode_request((i * stride % lines) * 64, i % 3 == 0,
+                           i % 50)
+            for i in range(900)]))
+        scalar, _ = _run(harness, "No-HBM", trace, "scalar", warmup=100)
+        vector, driver = _run(harness, "No-HBM", trace, "vector",
+                              warmup=100, vector_epoch=128)
+        assert driver.last_engine == "vector"
+        assert scalar.controller_stats.get("page_faults", 0) > 0
+        assert vector == scalar
+
+    def test_vector_epoch_size_is_invisible(self):
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness)
+        results = [
+            _run(harness, "Ideal", trace, "vector", warmup=400,
+                 vector_epoch=epoch)[0]
+            for epoch in (None, 1, 63, 512, 10 ** 6)]
+        assert all(result == results[0] for result in results[1:])
+
+
+class TestFallback:
+    def test_unsupported_design_falls_back_to_scalar(self):
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness, n=600)
+        scalar, _ = _run(harness, "Bumblebee", trace, "scalar",
+                         warmup=200)
+        vector, driver = _run(harness, "Bumblebee", trace, "vector",
+                              warmup=200)
+        assert driver.last_engine == "scalar"
+        assert driver.last_vector_epochs == 0
+        assert driver.last_scalar_epochs > 0
+        assert vector == scalar
+
+    def test_object_stream_stays_scalar(self):
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness, n=600)
+        result, driver = _run(harness, "Ideal", iter(trace), "vector",
+                              warmup=200)
+        assert driver.last_engine == "scalar"
+        packed, _ = _run(harness, "Ideal", trace, "scalar", warmup=200)
+        assert result == packed
+
+    def test_auto_selects_vector_when_capable(self):
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness, n=600)
+        _, on_batch = _run(harness, "Ideal", trace, "auto")
+        assert on_batch.last_engine == "vector"
+        _, on_scalar = _run(harness, "Bumblebee", trace, "auto")
+        assert on_scalar.last_engine == "scalar"
+
+    def test_unknown_engine_rejected(self):
+        harness = ExperimentHarness(CONFIG)
+        with pytest.raises(ValueError, match="engine"):
+            _run(harness, "Ideal", _trace(harness, n=8), "bogus")
+
+
+class TestRegistryCapability:
+    def test_declared_flag_matches_controller(self):
+        """``batch_replayable`` in the registry is declarative; the
+        driver trusts only ``batch_plan`` on the built controller.
+        This pin keeps the two in agreement for every spec."""
+        harness = ExperimentHarness(CONFIG)
+        for name in registry.names():
+            declared = registry.design(
+                registry.spec(name).base).batch_replayable
+            controller = make_controller(
+                name, harness.hbm_config, harness.dram_config,
+                sram_bytes=harness.config.scale.sram_bytes)
+            assert batch_capable(controller) == declared, name
+
+
+class TestEngineObservability:
+    def test_cell_timing_records_engine_choice(self):
+        harness = ExperimentHarness(CONFIG)
+        harness.run_design("Ideal", "mcf")
+        timing = harness.cell_timing("Ideal", "mcf")
+        assert timing["engine_vector"] == 1.0
+        assert timing["engine_scalar"] == 0.0
+        assert timing["vector_epochs"] >= 1.0
+        harness.run_design("Bumblebee", "mcf")
+        timing = harness.cell_timing("Bumblebee", "mcf")
+        assert timing["engine_vector"] == 0.0
+        assert timing["engine_scalar"] == 1.0
+        assert timing["scalar_epochs"] >= 1.0
+
+    def test_config_engine_scalar_forces_reference_loop(self):
+        config = ExperimentConfig(requests=1200, warmup=400,
+                                  workloads=("mcf",), engine="scalar")
+        harness = ExperimentHarness(config)
+        forced = harness.run_design("Ideal", "mcf")
+        assert harness.cell_timing("Ideal", "mcf")["engine_scalar"] == 1.0
+        auto = ExperimentHarness(CONFIG).run_design("Ideal", "mcf")
+        assert forced == auto
+
+    def test_engine_excluded_from_cache_keys(self):
+        """The two engines are bit-identical, so cached results are
+        engine-agnostic by construction — like ``trace_cache_dir``."""
+        scalar = ExperimentHarness(ExperimentConfig(engine="scalar"))
+        auto = ExperimentHarness(ExperimentConfig())
+        assert scalar._key_fields("mcf") == auto._key_fields("mcf")
