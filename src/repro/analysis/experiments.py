@@ -346,10 +346,14 @@ class ExperimentHarness:
         """The driver's engine choice for the run that just finished, as
         numeric timing keys (``Campaign.timing_summary`` sums every
         timing value, so engine choice is encoded as 0/1 indicators and
-        epoch counts rather than strings).  Cells served from a cache
-        never simulated, so they carry no engine keys at all."""
+        epoch counts rather than strings).  A scalar cell additionally
+        carries a ``fallback_<reason>`` indicator (hyphens as
+        underscores, e.g. ``fallback_design_not_batch_capable``) so a
+        campaign summary shows not just *how many* cells fell back but
+        *why*.  Cells served from a cache never simulated, so they
+        carry no engine keys at all."""
         driver = self.driver
-        return {
+        timing = {
             "engine_vector": 1.0 if driver.last_engine == "vector"
             else 0.0,
             "engine_scalar": 0.0 if driver.last_engine == "vector"
@@ -357,6 +361,10 @@ class ExperimentHarness:
             "vector_epochs": float(driver.last_vector_epochs),
             "scalar_epochs": float(driver.last_scalar_epochs),
         }
+        if driver.last_fallback_reason is not None:
+            reason = driver.last_fallback_reason.replace("-", "_")
+            timing[f"fallback_{reason}"] = 1.0
+        return timing
 
     def cell_timing(self, design: "str | DesignSpec",
                     workload: str) -> dict[str, float]:

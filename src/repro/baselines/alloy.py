@@ -16,6 +16,11 @@ miss-stream level.
 
 from __future__ import annotations
 
+try:
+    import numpy as np
+except ImportError:                                   # pragma: no cover
+    np = None
+
 from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
@@ -109,6 +114,105 @@ class AlloyCacheController(HybridMemoryController):
         self._tags[slot] = tag
         self._dirty[slot] = request.is_write
 
+    # ------------------------------------------------------------------
+    # two-pass epoch replay protocol (repro.sim.vectorized.replay_epoch)
+    # ------------------------------------------------------------------
+
+    def batch_epoch_plan(self, addr, is_write):
+        """Pass 1: forward-replay the epoch's metadata, emit a script.
+
+        Alloy's state machine — tags, dirty bits, and the MAP-I
+        saturating counter — never reads device timing, so pass 1 can
+        replay the whole epoch in scalar order against the *live* state
+        and hand the walk a static device script: every request is
+        pure, predicted-hit misses carry a serial TAD probe (``pre``)
+        and every miss carries its writeback/fetch movement (``post``).
+        :meth:`commit_epoch` is a no-op; the statistics the replay
+        owns (predictor counts, movement byte totals) are bumped here.
+        """
+        from ..sim.vectorized import EpochPlan
+        slots = self._slots
+        line = addr // LINE_BYTES
+        slot_arr = line % slots
+        tag_arr = line // slots
+        hbm_cap = self._hbm_capacity
+        dram_cap = self._dram_capacity
+        slot_l = slot_arr.tolist()
+        tag_l = tag_arr.tolist()
+        hbm_l = ((slot_arr * (LINE_BYTES + TAD_TAG_BYTES))
+                 % hbm_cap).tolist()
+        dram_l = (addr % dram_cap).tolist()
+        wr_l = np.asarray(is_write, dtype=bool).tolist()
+        m = len(slot_l)
+        tags = self._tags
+        dirty = self._dirty
+        predictor = self._predictor
+        counter = predictor._counter
+        mispredicts = 0
+        fills = 0
+        writebacks = 0
+        use = [True] * m
+        local = hbm_l[:]
+        pre: dict[int, list] = {}
+        post: dict[int, list] = {}
+        for i, (slot, tg, haddr, da, wr) in enumerate(zip(
+                slot_l, tag_l, hbm_l, dram_l, wr_l)):
+            hit = tags[slot] == tg
+            predicted = counter >= 4
+            if predicted != hit:
+                mispredicts += 1
+            if hit:
+                if counter < 7:
+                    counter += 1
+                if wr:
+                    dirty[slot] = True
+                continue
+            if counter > 0:
+                counter -= 1
+            use[i] = False
+            local[i] = da
+            if predicted:
+                # Serial probe: the predicted hit pays the HBM round
+                # trip before going to DRAM.
+                pre[i] = [(0, haddr, LINE_BYTES, False)]
+            victim = tags[slot]
+            if victim >= 0 and dirty[slot]:
+                victim_line = victim * slots + slot
+                post[i] = [
+                    (0, haddr, LINE_BYTES, False),
+                    (1, (victim_line * LINE_BYTES) % dram_cap,
+                     LINE_BYTES, True),
+                    (1, da, LINE_BYTES, False),
+                    (0, haddr, LINE_BYTES, True),
+                ]
+                writebacks += 1
+            else:
+                post[i] = [
+                    (1, da, LINE_BYTES, False),
+                    (0, haddr, LINE_BYTES, True),
+                ]
+            fills += 1
+            tags[slot] = tg
+            dirty[slot] = wr
+        predictor._counter = counter
+        predictor.predictions += m
+        predictor.mispredictions += mispredicts
+        if fills:
+            bump = self.stats.bump
+            bump("fetch_bytes", fills * LINE_BYTES)
+            bump("fetched_bytes", fills * LINE_BYTES)
+            if writebacks:
+                bump("writeback_bytes", writebacks * LINE_BYTES)
+        plan = EpochPlan(pure=np.ones(m, dtype=bool),
+                         use_hbm=np.asarray(use, dtype=bool),
+                         local_addr=np.asarray(local, dtype=np.int64))
+        plan.pre = pre
+        plan.post = post
+        return plan
+
+    def commit_epoch(self, plan, indices) -> None:
+        """Pass 2 is empty: pass 1 already committed all feedback."""
+
     def metadata_bytes(self) -> int:
         """Tag store size (held in HBM, not SRAM)."""
         return self._slots * TAD_TAG_BYTES
@@ -131,6 +235,7 @@ class AlloyCacheController(HybridMemoryController):
     "AlloyCache",
     description="Direct-mapped TAD cache over the whole stack "
                 "(tags in HBM, MAP-I hit prediction)",
-    figures=(("fig8", 1),))
+    figures=(("fig8", 1),),
+    batch_replayable="epoch")
 def _build_alloy(hbm_config, dram_config, *, name="AlloyCache"):
     return AlloyCacheController(hbm_config, dram_config, name=name)

@@ -13,6 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+try:
+    import numpy as np
+except ImportError:                                   # pragma: no cover
+    np = None
+
 from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest
@@ -139,6 +144,137 @@ class BansheeController(HybridMemoryController):
         if unused > 0:
             self.stats.bump("overfetch_bytes", unused * LINE_BYTES)
 
+    # ------------------------------------------------------------------
+    # two-pass epoch replay protocol (repro.sim.vectorized.replay_epoch)
+    # ------------------------------------------------------------------
+
+    def batch_epoch_plan(self, addr, is_write):
+        """Pass 1: forward-replay the epoch's metadata, emit a script.
+
+        Banshee's replacement — way tags, frequency counters, the
+        sample tick, candidate counters, and the install gate — never
+        reads device timing, so pass 1 replays the whole epoch in
+        scalar order against the live state: every request is pure and
+        the rare gated installs carry their page movement as ``post``
+        bulk ops.  :meth:`commit_epoch` is a no-op; the statistics the
+        replay owns (fills, evictions, rejections, overfetch, movement
+        byte totals) are bumped here.
+        """
+        from ..sim.vectorized import EpochPlan
+        sets = self._sets
+        hbm_cap = self._hbm_capacity
+        dram_cap = self._dram_capacity
+        page = addr // PAGE_BYTES
+        set_l = (page % sets).tolist()
+        tag_l = (page // sets).tolist()
+        off_l = (addr % PAGE_BYTES).tolist()
+        dram_l = (addr % dram_cap).tolist()
+        wr_l = np.asarray(is_write, dtype=bool).tolist()
+        m = len(set_l)
+        ways_all = self._ways
+        cand = self._candidate_counters
+        tick = self._sample_tick
+        cap = self.COUNTER_MAX
+        margin = self.REPLACE_MARGIN
+        rate = self.SAMPLE_RATE
+        use = [True] * m
+        local = [0] * m
+        post: dict[int, list] = {}
+        fills = evictions = rejected = writebacks = overfetch = 0
+        for i, (s, tg, off, da, wr) in enumerate(zip(
+                set_l, tag_l, off_l, dram_l, wr_l)):
+            ways = ways_all[s]
+            hit_way = -1
+            for wi in range(WAYS):
+                if ways[wi].tag == tg:
+                    hit_way = wi
+                    break
+            if hit_way >= 0:
+                w = ways[hit_way]
+                c = w.counter + 1
+                w.counter = c if c < cap else cap
+                w.used_lines |= 1 << (off // LINE_BYTES)
+                if wr:
+                    w.dirty = True
+                local[i] = ((s * WAYS + hit_way) * PAGE_BYTES
+                            + off) % hbm_cap
+                continue
+            use[i] = False
+            local[i] = da
+            tick += 1
+            if tick % rate:
+                continue
+            pg = tg * sets + s
+            counter = cand.get(pg, 0) + 1
+            cand[pg] = counter if counter < cap else cap
+            target = -1
+            for wi in range(WAYS):
+                if ways[wi].tag < 0:
+                    target = wi
+                    break
+            if target < 0:
+                victim = 0
+                best = ways[0].counter
+                for wi in range(1, WAYS):
+                    c = ways[wi].counter
+                    if c < best:
+                        best = c
+                        victim = wi
+                if counter >= best + margin:
+                    target = victim
+                else:
+                    rejected += 1
+                    continue
+            ops = []
+            w = ways[target]
+            if w.tag >= 0:
+                old_pg = w.tag * sets + s
+                if w.dirty:
+                    ops.append((0, ((s * WAYS + target) * PAGE_BYTES)
+                                % hbm_cap, PAGE_BYTES, False))
+                    ops.append((1, (old_pg * PAGE_BYTES) % dram_cap,
+                                PAGE_BYTES, True))
+                    writebacks += 1
+                unused = ((PAGE_BYTES // LINE_BYTES)
+                          - w.used_lines.bit_count())
+                if unused > 0:
+                    overfetch += unused * LINE_BYTES
+                cand[old_pg] = w.counter // 2
+                evictions += 1
+            ops.append((1, (pg * PAGE_BYTES) % dram_cap,
+                        PAGE_BYTES, False))
+            ops.append((0, ((s * WAYS + target) * PAGE_BYTES) % hbm_cap,
+                        PAGE_BYTES, True))
+            post[i] = ops
+            w.tag = tg
+            w.counter = counter
+            w.dirty = wr
+            w.used_lines = 1 << (off // LINE_BYTES)
+            cand.pop(pg, None)
+            fills += 1
+        self._sample_tick = tick
+        bump = self.stats.bump
+        if fills:
+            bump("page_fills", fills)
+            bump("fetch_bytes", fills * PAGE_BYTES)
+            bump("fetched_bytes", fills * PAGE_BYTES)
+        if evictions:
+            bump("page_evictions", evictions)
+        if writebacks:
+            bump("writeback_bytes", writebacks * PAGE_BYTES)
+        if rejected:
+            bump("replacement_rejected", rejected)
+        if overfetch:
+            bump("overfetch_bytes", overfetch)
+        plan = EpochPlan(pure=np.ones(m, dtype=bool),
+                         use_hbm=np.asarray(use, dtype=bool),
+                         local_addr=np.asarray(local, dtype=np.int64))
+        plan.post = post
+        return plan
+
+    def commit_epoch(self, plan, indices) -> None:
+        """Pass 2 is empty: pass 1 already committed all feedback."""
+
 
     def reset_measurements(self) -> None:
         super().reset_measurements()
@@ -165,6 +301,7 @@ class BansheeController(HybridMemoryController):
     "Banshee",
     description="Page-granular TLB-tracked cache with "
                 "frequency-based replacement",
-    figures=(("fig8", 0),))
+    figures=(("fig8", 0),),
+    batch_replayable="epoch")
 def _build_banshee(hbm_config, dram_config, *, name="Banshee"):
     return BansheeController(hbm_config, dram_config, name=name)

@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+try:
+    import numpy as np
+except ImportError:                                   # pragma: no cover
+    np = None
+
 from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
@@ -111,6 +116,89 @@ class ChameleonController(HybridMemoryController):
         state.counters[member] = 0
         self.stats.bump("sector_swaps")
 
+    # ------------------------------------------------------------------
+    # two-pass epoch replay protocol (repro.sim.vectorized.replay_epoch)
+    # ------------------------------------------------------------------
+
+    def batch_epoch_plan(self, addr, is_write):
+        """Pass 1: forward-replay the epoch's metadata, emit a script.
+
+        Chameleon's remap state (near member, competition counters) and
+        its SRAM metadata cache are address-only deterministic — no
+        decision ever reads device timing — so pass 1 replays the whole
+        epoch in scalar order against the live state, querying the
+        *real* :class:`MetadataCache` per request.  Variable metadata
+        latency rides in ``plan.meta``; the rare segment swaps carry
+        their movement as ``post`` bulk ops.  Every request is pure and
+        :meth:`commit_epoch` is a no-op.
+        """
+        from ..sim.vectorized import EpochPlan
+        groups_count = self._groups_count
+        members = self._members
+        hbm_cap = self._hbm_capacity
+        dram_cap = self._dram_capacity
+        segment = addr // SEGMENT_BYTES
+        group_l = (segment % groups_count).tolist()
+        member_l = (segment // groups_count % members).tolist()
+        offset_l = (addr % SEGMENT_BYTES).tolist()
+        dram_l = (addr % dram_cap).tolist()
+        m = len(group_l)
+        lookup = self._metadata.lookup
+        group_state = self._group_state
+        cap = self.COUNTER_MAX
+        threshold = self.SWAP_THRESHOLD
+        mal = (self.hbm.config.timings.row_closed_ns
+               + self.hbm.config.burst_ns(64))
+        meta = [0.0] * m
+        use = [False] * m
+        local = dram_l[:]
+        post: dict[int, list] = {}
+        meta_misses = swaps = 0
+        for i, (g, member, off) in enumerate(zip(
+                group_l, member_l, offset_l)):
+            if not lookup(g):
+                meta[i] = mal
+                meta_misses += 1
+            state = group_state(g)
+            counters = state.counters
+            c = counters[member] + 1
+            counters[member] = c if c < cap else cap
+            if member == state.near_member:
+                use[i] = True
+                local[i] = (g * SEGMENT_BYTES + off) % hbm_cap
+                continue
+            near = state.near_member
+            if counters[member] < counters[near] + threshold:
+                continue
+            h = (g * SEGMENT_BYTES) % hbm_cap
+            d = ((member * groups_count + g) * SEGMENT_BYTES) % dram_cap
+            post[i] = [(0, h, SEGMENT_BYTES, False),
+                       (1, d, SEGMENT_BYTES, True),
+                       (1, d, SEGMENT_BYTES, False),
+                       (0, h, SEGMENT_BYTES, True)]
+            state.near_member = member
+            counters[near] = 0
+            counters[member] = 0
+            swaps += 1
+        bump = self.stats.bump
+        if meta_misses:
+            bump("metadata_accesses", meta_misses)
+        if swaps:
+            bump("swaps", swaps)        # MovementEngine.swap's counter
+            bump("sector_swaps", swaps)
+            bump("writeback_bytes", swaps * SEGMENT_BYTES)
+            bump("fetch_bytes", swaps * SEGMENT_BYTES)
+            bump("fetched_bytes", swaps * SEGMENT_BYTES)
+        plan = EpochPlan(pure=np.ones(m, dtype=bool),
+                         use_hbm=np.asarray(use, dtype=bool),
+                         local_addr=np.asarray(local, dtype=np.int64))
+        plan.meta = meta
+        plan.post = post
+        return plan
+
+    def commit_epoch(self, plan, indices) -> None:
+        """Pass 2 is empty: pass 1 already committed all feedback."""
+
     def metadata_bytes(self) -> int:
         return self._metadata.total_bytes
 
@@ -127,7 +215,8 @@ class ChameleonController(HybridMemoryController):
     params={"sram_bytes": 512 * 1024},
     description="Segment-group POM with an SRAM metadata cache "
                 "(sram_bytes budgets it)",
-    figures=(("fig8", 3),))
+    figures=(("fig8", 3),),
+    batch_replayable="epoch")
 def _build_chameleon(hbm_config, dram_config, *, name="Chameleon",
                      sram_bytes=512 * 1024):
     return ChameleonController(hbm_config, dram_config,

@@ -20,6 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+try:
+    import numpy as np
+except ImportError:                                   # pragma: no cover
+    np = None
+
 from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
@@ -243,6 +248,224 @@ class Hybrid2Controller(HybridMemoryController):
                     break
 
 
+    # ------------------------------------------------------------------
+    # two-pass epoch replay protocol (repro.sim.vectorized.replay_epoch)
+    # ------------------------------------------------------------------
+
+    def batch_epoch_plan(self, addr, is_write):
+        """Pass 1: forward-replay the epoch's metadata, emit a script.
+
+        Hybrid2's state — POM residency, staging-cache slots, LRU
+        clock, page-block masks, and the SRAM metadata cache — is
+        address-only deterministic (the clock is a counter, never a
+        timestamp), so pass 1 replays the whole epoch in scalar order
+        against the live state, querying the *real*
+        :class:`MetadataCache` per request.  Variable metadata latency
+        rides in ``plan.meta``; block fills, evictions, and the
+        promotion cascade carry their movement as ``post`` bulk ops in
+        exact scalar call order.  Every request is pure and
+        :meth:`commit_epoch` is a no-op.
+        """
+        from ..sim.vectorized import EpochPlan
+        hbm_cap = self._hbm_capacity
+        dram_cap = self._dram_capacity
+        cache_sets = self._cache_sets
+        pom_sets = self._pom_sets
+        chbm_base = self._chbm_base
+        page_l = (addr // PAGE_BYTES).tolist()
+        block_l = (addr // BLOCK_BYTES).tolist()
+        addr_l = addr.tolist()
+        dram_l = (addr % dram_cap).tolist()
+        wr_l = np.asarray(is_write, dtype=bool).tolist()
+        m = len(page_l)
+        lookup = self._metadata.lookup
+        mal = (self.hbm.config.timings.row_closed_ns
+               + self.hbm.config.burst_ns(64))
+        clock = self._clock
+        cache = self._cache
+        resident_all = self._resident
+        free_all = self._free_ways
+        page_blocks = self._page_blocks
+        meta = [0.0] * m
+        use = [True] * m
+        local = [0] * m
+        post: dict[int, list] = {}
+        meta_misses = 0
+        block_fills = block_evictions = overfetch = 0
+        pom_evictions = promotions = 0
+        fetch_total = wb_total = mode_switch = 0
+        for i, (page, block, a, da, wr) in enumerate(zip(
+                page_l, block_l, addr_l, dram_l, wr_l)):
+            clock += 1
+            if not lookup(page):
+                meta[i] = mal
+                meta_misses += 1
+            pom_set = page % pom_sets
+            resident = resident_all[pom_set]
+            entry = resident.get(page)
+            if entry is not None:
+                entry[1] = clock
+                local[i] = ((pom_set * POM_WAYS + entry[0]) * PAGE_BYTES
+                            + a % PAGE_BYTES) % hbm_cap
+                continue
+            set_index = block % cache_sets
+            tag = block // cache_sets
+            slots = cache[set_index]
+            hit_way = -1
+            for wi in range(CACHE_WAYS):
+                if slots[wi].tag == tag:
+                    hit_way = wi
+                    break
+            if hit_way >= 0:
+                slot = slots[hit_way]
+                slot.lru = clock
+                slot.used_lines |= 1 << ((a % BLOCK_BYTES) // LINE_BYTES)
+                if wr:
+                    slot.dirty = True
+                local[i] = (chbm_base
+                            + (set_index * CACHE_WAYS + hit_way)
+                            * BLOCK_BYTES + a % BLOCK_BYTES) % hbm_cap
+                continue
+            use[i] = False
+            local[i] = da
+            ops = []
+            way = -1
+            for wi in range(CACHE_WAYS):
+                if slots[wi].tag < 0:
+                    way = wi
+                    break
+            if way < 0:
+                way = 0
+                best = slots[0].lru
+                for wi in range(1, CACHE_WAYS):
+                    if slots[wi].lru < best:
+                        best = slots[wi].lru
+                        way = wi
+                slot = slots[way]
+                vblock = slot.tag * cache_sets + set_index
+                if slot.dirty:
+                    ops.append((0, (chbm_base
+                                    + (set_index * CACHE_WAYS + way)
+                                    * BLOCK_BYTES) % hbm_cap,
+                                BLOCK_BYTES, False))
+                    ops.append((1, (vblock * BLOCK_BYTES) % dram_cap,
+                                BLOCK_BYTES, True))
+                    wb_total += BLOCK_BYTES
+                unused = LINES_PER_BLOCK - slot.used_lines.bit_count()
+                if unused > 0:
+                    overfetch += unused * LINE_BYTES
+                vpage = vblock * BLOCK_BYTES // PAGE_BYTES
+                mask = page_blocks.get(vpage)
+                if mask is not None:
+                    mask &= ~(1 << (vblock % BLOCKS_PER_PAGE))
+                    if mask:
+                        page_blocks[vpage] = mask
+                    else:
+                        page_blocks.pop(vpage, None)
+                slot.tag = -1
+                slot.dirty = False
+                slot.used_lines = 0
+                block_evictions += 1
+            slot = slots[way]
+            ops.append((1, (block * BLOCK_BYTES) % dram_cap,
+                        BLOCK_BYTES, False))
+            ops.append((0, (chbm_base
+                            + (set_index * CACHE_WAYS + way)
+                            * BLOCK_BYTES) % hbm_cap, BLOCK_BYTES, True))
+            fetch_total += BLOCK_BYTES
+            slot.tag = tag
+            slot.dirty = wr
+            slot.used_lines = 1 << ((a % BLOCK_BYTES) // LINE_BYTES)
+            slot.lru = clock
+            block_fills += 1
+            mask = page_blocks.get(page, 0) | (
+                1 << (block % BLOCKS_PER_PAGE))
+            page_blocks[page] = mask
+            if mask.bit_count() >= PROMOTE_THRESHOLD:
+                free = free_all[pom_set]
+                if free:
+                    pway = free.pop()
+                else:
+                    victim_page = min(resident,
+                                      key=lambda p: resident[p][1])
+                    pway = resident.pop(victim_page)[0]
+                    ops.append((0, ((pom_set * POM_WAYS + pway)
+                                    * PAGE_BYTES) % hbm_cap,
+                                PAGE_BYTES, False))
+                    ops.append((1, (victim_page * PAGE_BYTES) % dram_cap,
+                                PAGE_BYTES, True))
+                    wb_total += PAGE_BYTES
+                    mode_switch += PAGE_BYTES
+                    pom_evictions += 1
+                dmask = page_blocks.pop(page, 0)
+                if dmask:
+                    first_block = page * BLOCKS_PER_PAGE
+                    for bi in range(BLOCKS_PER_PAGE):
+                        if not dmask >> bi & 1:
+                            continue
+                        b = first_block + bi
+                        si = b % cache_sets
+                        btag = b // cache_sets
+                        bslots = cache[si]
+                        for wj in range(CACHE_WAYS):
+                            bslot = bslots[wj]
+                            if bslot.tag == btag:
+                                if bslot.dirty:
+                                    ops.append((0, (chbm_base
+                                                    + (si * CACHE_WAYS
+                                                       + wj)
+                                                    * BLOCK_BYTES)
+                                                % hbm_cap,
+                                                BLOCK_BYTES, False))
+                                    ops.append((1, (b * BLOCK_BYTES)
+                                                % dram_cap,
+                                                BLOCK_BYTES, True))
+                                    wb_total += BLOCK_BYTES
+                                    mode_switch += BLOCK_BYTES
+                                bslot.tag = -1
+                                bslot.dirty = False
+                                bslot.used_lines = 0
+                                break
+                ops.append((1, (page * PAGE_BYTES) % dram_cap,
+                            PAGE_BYTES, False))
+                ops.append((0, ((pom_set * POM_WAYS + pway) * PAGE_BYTES)
+                            % hbm_cap, PAGE_BYTES, True))
+                fetch_total += PAGE_BYTES
+                mode_switch += PAGE_BYTES
+                resident[page] = [pway, clock]
+                promotions += 1
+            post[i] = ops
+        self._clock = clock
+        bump = self.stats.bump
+        if meta_misses:
+            bump("metadata_accesses", meta_misses)
+        if block_fills:
+            bump("block_fills", block_fills)
+        if block_evictions:
+            bump("block_evictions", block_evictions)
+        if overfetch:
+            bump("overfetch_bytes", overfetch)
+        if pom_evictions:
+            bump("pom_evictions", pom_evictions)
+        if promotions:
+            bump("promotions", promotions)
+        if fetch_total:
+            bump("fetch_bytes", fetch_total)
+            bump("fetched_bytes", fetch_total)
+        if wb_total:
+            bump("writeback_bytes", wb_total)
+        if mode_switch:
+            bump("mode_switch_bytes", mode_switch)
+        plan = EpochPlan(pure=np.ones(m, dtype=bool),
+                         use_hbm=np.asarray(use, dtype=bool),
+                         local_addr=np.asarray(local, dtype=np.int64))
+        plan.meta = meta
+        plan.post = post
+        return plan
+
+    def commit_epoch(self, plan, indices) -> None:
+        """Pass 2 is empty: pass 1 already committed all feedback."""
+
     def reset_measurements(self) -> None:
         super().reset_measurements()
         full = (1 << LINES_PER_BLOCK) - 1
@@ -271,7 +494,8 @@ class Hybrid2Controller(HybridMemoryController):
     params={"sram_bytes": 512 * 1024},
     description="Fixed 1/16 cHBM staging cache plus 2KB-page POM "
                 "(sram_bytes budgets the metadata cache)",
-    figures=(("fig8", 4),))
+    figures=(("fig8", 4),),
+    batch_replayable="epoch")
 def _build_hybrid2(hbm_config, dram_config, *, name="Hybrid2",
                    sram_bytes=512 * 1024):
     return Hybrid2Controller(hbm_config, dram_config,

@@ -46,6 +46,6 @@ class IdealHBMController(HybridMemoryController):
 @register_design(
     "Ideal",
     description="Infinite-HBM oracle: the performance ceiling",
-    batch_replayable=True)
+    batch_replayable="stateless")
 def _build_ideal(hbm_config, dram_config, *, name="Ideal"):
     return IdealHBMController(hbm_config, dram_config, name=name)

@@ -10,8 +10,6 @@ SRAM budget.
 
 from __future__ import annotations
 
-from ..cache.cache import SetAssociativeCache
-
 
 class MetadataCache:
     """An SRAM cache of metadata entries, indexed by entry number.
@@ -33,17 +31,26 @@ class MetadataCache:
         self.total_bytes = entry_bytes * total_entries
         self._always_hits = self.total_bytes <= sram_bytes
         if self._always_hits:
-            self._cache = None
+            self._sets: list[list[int]] | None = None
+            self._nsets = 0
         else:
             # Entries are cached in 64B sectors (8 entries per sector at
-            # 8B/entry), 8-way associative — a generous organisation that
-            # still misses when the working set of entries exceeds SRAM.
+            # 8B/entry), 8-way associative with LRU replacement — a
+            # generous organisation that still misses when the working
+            # set of entries exceeds SRAM.  Each set is a recency-ordered
+            # tag list (front = MRU), which is observably identical to a
+            # rank-array LRU: hit iff the tag is present, hits move to
+            # front, a full set evicts the back.
             line_bytes = 64
             capacity = max(line_bytes * 8, (sram_bytes // line_bytes)
                            * line_bytes)
-            self._cache = SetAssociativeCache(
-                capacity_bytes=capacity, line_bytes=line_bytes, ways=8,
-                policy="lru", name="metadata-sram")
+            lines = capacity // line_bytes
+            if lines % 8:
+                raise ValueError("lines must divide evenly into ways")
+            self._line_bytes = line_bytes
+            self._ways = 8
+            self._nsets = lines // 8
+            self._sets = [[] for _ in range(self._nsets)]
         self.lookups = 0
         self.sram_misses = 0
 
@@ -56,10 +63,19 @@ class MetadataCache:
         self.lookups += 1
         if self._always_hits:
             return True
-        hit = self._cache.access(entry_index * self.entry_bytes).hit
-        if not hit:
-            self.sram_misses += 1
-        return hit
+        line = (entry_index * self.entry_bytes) // self._line_bytes
+        tags = self._sets[line % self._nsets]
+        tag = line // self._nsets
+        if tag in tags:
+            if tags[0] != tag:
+                tags.remove(tag)
+                tags.insert(0, tag)
+            return True
+        self.sram_misses += 1
+        if len(tags) >= self._ways:
+            tags.pop()
+        tags.insert(0, tag)
+        return False
 
     @property
     def miss_rate(self) -> float:

@@ -40,6 +40,6 @@ class NoHBMController(HybridMemoryController):
     "No-HBM",
     description="Off-chip DRAM only: the denominator of every "
                 "normalised metric",
-    batch_replayable=True)
+    batch_replayable="stateless")
 def _build_no_hbm(hbm_config, dram_config, *, name="No-HBM"):
     return NoHBMController(dram_config, name=name)

@@ -8,6 +8,22 @@ of the design:
   Bumblebee's granularity);
 * **M-Only** — every way is POM-only (a pure mHBM design);
 * **25%-C / 50%-C** — KNL-style fixed hybrid splits.
+
+Vectorized replay
+-----------------
+
+The static splits ride the two-pass epoch engine
+(:meth:`~repro.core.hmmc.BumblebeeController.batch_epoch_plan`), and
+take its *direct* plan path: with ``fixed_chbm_ways`` pinned the
+controller is non-adaptive, so pass 1 skips the most-blocks switch
+restriction entirely — every resident hit classifies pure straight from
+the frozen BLE snapshot, without the per-way block-count guard the
+adaptive Bumblebee needs.  Feedback still exists (fills, hotness
+counters), which is why these are ``batch_replayable="epoch"`` rather
+than ``"stateless"``: a feedback-free ``batch_plan`` could not replay
+them bit-identically.  The specs below declare the tier explicitly so
+the capability pin (``tests/test_vectorized_engine.py``) checks them
+independently of the base design's registration.
 """
 
 from __future__ import annotations
@@ -69,13 +85,13 @@ def fixed_chbm(hbm_config: DeviceConfig, dram_config: DeviceConfig,
 # chbm_ratio override (ratio x hbm_ways cHBM-only ways, rest mHBM-only).
 register_spec("C-Only", "Bumblebee", {"chbm_ratio": 1.0},
               description="All HBM as DRAM cache",
-              figures=(("fig7", 0),))
+              figures=(("fig7", 0),), batch_replayable="epoch")
 register_spec("M-Only", "Bumblebee", {"chbm_ratio": 0.0},
               description="All HBM as OS-visible POM",
-              figures=(("fig7", 1),))
+              figures=(("fig7", 1),), batch_replayable="epoch")
 register_spec("25%-C", "Bumblebee", {"chbm_ratio": 0.25},
               description="KNL-style static split, 25% cHBM",
-              figures=(("fig7", 2),))
+              figures=(("fig7", 2),), batch_replayable="epoch")
 register_spec("50%-C", "Bumblebee", {"chbm_ratio": 0.5},
               description="KNL-style static split, 50% cHBM",
-              figures=(("fig7", 3),))
+              figures=(("fig7", 3),), batch_replayable="epoch")

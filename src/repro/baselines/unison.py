@@ -18,6 +18,11 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+try:
+    import numpy as np
+except ImportError:                                   # pragma: no cover
+    np = None
+
 from ..designs import register_design
 from ..mem.timing import DeviceConfig
 from ..sim.request import AccessResult, MemoryRequest, ServicedBy
@@ -175,6 +180,162 @@ class UnisonCacheController(HybridMemoryController):
         way.used_lines = way.brought_lines = 0
 
 
+    # ------------------------------------------------------------------
+    # two-pass epoch replay protocol (repro.sim.vectorized.replay_epoch)
+    # ------------------------------------------------------------------
+
+    def batch_epoch_plan(self, addr, is_write):
+        """Pass 1: forward-replay the epoch's metadata, emit a script.
+
+        Unison's state machine (tags, valid/dirty/used line vectors,
+        LRU clock, footprint predictor) never reads device timing, and
+        the way predictor's RNG draws only on hits — in request order —
+        so pass 1 replays the whole epoch in scalar order against the
+        live state: mispredicted hits and misses carry their serial
+        HBM probe as a ``pre`` op, fills and evictions carry their
+        movement as ``post`` bulk ops, and every request is pure.
+        :meth:`commit_epoch` is a no-op.
+        """
+        from ..sim.vectorized import EpochPlan
+        sets = self._sets
+        hbm_cap = self._hbm_capacity
+        dram_cap = self._dram_capacity
+        stride = PAGE_BYTES + TAG_BYTES + FOOTPRINT_BYTES
+        page = addr // PAGE_BYTES
+        set_l = (page % sets).tolist()
+        tag_l = (page // sets).tolist()
+        line_l = ((addr % PAGE_BYTES) // LINE_BYTES).tolist()
+        dram_l = (addr % dram_cap).tolist()
+        wr_l = np.asarray(is_write, dtype=bool).tolist()
+        m = len(set_l)
+        ways_all = self._ways
+        clock = self._clock
+        rng_random = self._rng.random
+        footprints = self._footprints
+        accuracy = self.WAY_PREDICTION_ACCURACY
+        use = [True] * m
+        local = [0] * m
+        pre: dict[int, list] = {}
+        post: dict[int, list] = {}
+        mispredicts = probes = fills = evictions = 0
+        fetch_total = wb_total = overfetch = 0
+        # Epoch-local mirror of each touched set's way tags: the scan
+        # becomes a C-speed list membership test.  Tags are unique per
+        # set (fills only install absent tags) and never -1-aliased
+        # (page tags are non-negative), so ``index`` finds the same way
+        # the scalar first-match scan would.
+        tag_rows: dict[int, list] = {}
+        tag_rows_get = tag_rows.get
+        for i, (s, tg, ln, da, wr) in enumerate(zip(
+                set_l, tag_l, line_l, dram_l, wr_l)):
+            clock += 1
+            ways = ways_all[s]
+            row = tag_rows_get(s)
+            if row is None:
+                row = tag_rows[s] = [w.tag for w in ways]
+            hit_way = row.index(tg) if tg in row else None
+            if hit_way is not None and (
+                    ways[hit_way].valid_lines >> ln) & 1:
+                w = ways[hit_way]
+                w.lru = clock
+                w.used_lines |= 1 << ln
+                if wr:
+                    w.dirty_lines |= 1 << ln
+                if rng_random() > accuracy:
+                    pre[i] = [(0, ((s * WAYS + (hit_way + 1) % WAYS)
+                                   * stride + ln * LINE_BYTES) % hbm_cap,
+                               LINE_BYTES, False)]
+                    mispredicts += 1
+                local[i] = ((s * WAYS + hit_way) * stride
+                            + ln * LINE_BYTES) % hbm_cap
+                continue
+            use[i] = False
+            local[i] = da
+            pre[i] = [(0, ((s * WAYS + (hit_way or 0)) * stride)
+                      % hbm_cap, TAG_BYTES, False)]
+            probes += 1
+            ops = []
+            if hit_way is not None:
+                # Resident page, footprint-missed line: 64B line fill.
+                ops.append((1, da, LINE_BYTES, False))
+                ops.append((0, ((s * WAYS + hit_way) * stride
+                                + ln * LINE_BYTES) % hbm_cap,
+                            LINE_BYTES, True))
+                fetch_total += LINE_BYTES
+                w = ways[hit_way]
+                w.valid_lines |= 1 << ln
+                w.brought_lines |= 1 << ln
+                w.used_lines |= 1 << ln
+                if wr:
+                    w.dirty_lines |= 1 << ln
+                w.lru = clock
+            else:
+                victim_index = 0
+                best = ways[0].lru
+                for wi in range(1, WAYS):
+                    if ways[wi].lru < best:
+                        best = ways[wi].lru
+                        victim_index = wi
+                victim = ways[victim_index]
+                if victim.tag >= 0:
+                    old_pg = victim.tag * sets + s
+                    dirty = victim.dirty_lines.bit_count() * LINE_BYTES
+                    if dirty:
+                        ops.append((0, ((s * WAYS + victim_index)
+                                        * stride) % hbm_cap,
+                                    dirty, False))
+                        ops.append((1, (old_pg * PAGE_BYTES) % dram_cap,
+                                    dirty, True))
+                        wb_total += dirty
+                    footprints[old_pg] = victim.used_lines
+                    unused = (victim.brought_lines
+                              & ~victim.used_lines).bit_count()
+                    if unused:
+                        overfetch += unused * LINE_BYTES
+                    evictions += 1
+                pg = tg * sets + s
+                footprint = footprints.get(pg, 0) | (1 << ln)
+                nb = footprint.bit_count() * LINE_BYTES
+                ops.append((1, (pg * PAGE_BYTES) % dram_cap, nb, False))
+                ops.append((0, ((s * WAYS + victim_index) * stride)
+                            % hbm_cap, nb, True))
+                fetch_total += nb
+                victim.tag = tg
+                row[victim_index] = tg
+                victim.valid_lines = footprint
+                victim.brought_lines = footprint
+                victim.used_lines = 1 << ln
+                victim.dirty_lines = (1 << ln) if wr else 0
+                victim.lru = clock
+                fills += 1
+            post[i] = ops
+        self._clock = clock
+        bump = self.stats.bump
+        if mispredicts:
+            bump("way_mispredictions", mispredicts)
+        if probes:
+            bump("metadata_accesses", probes)
+        if fills:
+            bump("page_fills", fills)
+        if evictions:
+            bump("page_evictions", evictions)
+        if overfetch:
+            bump("overfetch_bytes", overfetch)
+        if fetch_total:
+            bump("fetch_bytes", fetch_total)
+            bump("fetched_bytes", fetch_total)
+        if wb_total:
+            bump("writeback_bytes", wb_total)
+        plan = EpochPlan(pure=np.ones(m, dtype=bool),
+                         use_hbm=np.asarray(use, dtype=bool),
+                         local_addr=np.asarray(local, dtype=np.int64))
+        plan.pre = pre
+        plan.post = post
+        return plan
+
+    def commit_epoch(self, plan, indices) -> None:
+        """Pass 2 is empty: pass 1 already committed all feedback."""
+
     def reset_measurements(self) -> None:
         super().reset_measurements()
         for ways in self._ways:
@@ -199,7 +360,8 @@ class UnisonCacheController(HybridMemoryController):
     params={"seed": 7},
     description="4-way page-granular cache with way + footprint "
                 "prediction (seeded predictor)",
-    figures=(("fig8", 2),))
+    figures=(("fig8", 2),),
+    batch_replayable="epoch")
 def _build_unison(hbm_config, dram_config, *, name="UnisonCache", seed=7):
     return UnisonCacheController(hbm_config, dram_config, name=name,
                                  seed=seed)

@@ -267,6 +267,13 @@ def _fill_campaign(args: argparse.Namespace, designs) -> int:
                      f"scalar cells "
                      f"({timing.get('vector_epochs', 0):.0f} vector "
                      f"epochs)")
+            fallbacks = {key[len("fallback_"):].replace("_", "-"): count
+                         for key, count in sorted(timing.items())
+                         if key.startswith("fallback_") and count}
+            if fallbacks:
+                line += "; fallbacks: " + ", ".join(
+                    f"{reason} x{count:.0f}"
+                    for reason, count in fallbacks.items())
         print(line)
     print()
     print(campaign.render(args.metric))
@@ -331,9 +338,12 @@ def cmd_designs(args: argparse.Namespace) -> int:
     print(f"base      : {spec.base}")
     if entry.description:
         print(f"about     : {entry.description}")
-    print("batch     : " + ("vectorized batch replay"
-                            if base.batch_replayable
-                            else "scalar replay only"))
+    tier = registry.batch_tier(args.name)
+    print("batch     : " + {
+        "stateless": "vectorized batch replay (stateless batch_plan)",
+        "epoch": "vectorized batch replay (two-pass epoch plan)",
+        "none": "scalar replay only",
+    }[tier])
     if entry.figures:
         print("figures   : " + ", ".join(
             f"{fig} bar {index}" for fig, index in entry.figures))
@@ -375,6 +385,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_sanitize(args: argparse.Namespace) -> int:
     """Differential replay + invariant sweep; exit 1 on any failure."""
     from .analysis import SANITIZE_DESIGNS, run_differential
+    if args.vector_epoch is not None and args.vector_epoch <= 0:
+        print(f"--vector-epoch must be a positive integer, got "
+              f"{args.vector_epoch}", file=sys.stderr)
+        return 2
     if args.designs == ["all"]:
         designs = list(SANITIZE_DESIGNS)
     else:

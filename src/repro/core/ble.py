@@ -18,6 +18,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+try:
+    import numpy as np
+except ImportError:                                   # pragma: no cover
+    np = None
+
 
 class WayMode(enum.Enum):
     """The role an HBM physical page currently plays."""
@@ -178,6 +183,14 @@ class BLEArray:
         used = sum(1 for e in self._entries if e.mode is not WayMode.FREE)
         return used / len(self._entries)
 
+    def epoch_snapshot(self):
+        """Frozen per-way arrays of this set's BLE state (pass-1 input).
+
+        See :func:`epoch_snapshot` for the whole-geometry form the
+        two-pass replay engine consumes.
+        """
+        return epoch_snapshot([self._entries])
+
     def spatial_counts(self, most_blocks_threshold: int
                        ) -> tuple[int, int, int]:
         """Return (Na, Nn, Nc) for the SL = Na - Nn - Nc estimate (§III-E).
@@ -201,3 +214,41 @@ class BLEArray:
             elif entry.mode is WayMode.CHBM:
                 nc += 1
         return na, nn, nc
+
+
+def epoch_snapshot(entry_rows, *, with_counts: bool = False):
+    """Numpy mirror of BLE state frozen for one epoch classification.
+
+    Args:
+        entry_rows: One sequence of :class:`BlockLocationEntry` per
+            remapping set (``ways`` entries each) — e.g. the per-set
+            ``BLEArray._entries`` lists.
+        with_counts: Also materialise per-way valid popcounts (needed
+            by adaptive designs whose block hits can trip the
+            cHBM->mHBM switch threshold).
+
+    Returns:
+        ``(owner, live, cached, valid, counts)`` arrays of shape
+        ``(sets, ways)``: owner PLEs (int64), occupied mask, cHBM-mode
+        mask, valid bitmasks (uint64 — callers must guard
+        ``blocks_per_page <= 64``), and popcounts (int64, or None
+        without ``with_counts``).  The arrays are value copies: later
+        entry mutations never leak into a frozen plan.
+    """
+    if np is None:                                     # pragma: no cover
+        raise RuntimeError("epoch_snapshot requires numpy")
+    free = WayMode.FREE
+    cmode = WayMode.CHBM
+    owner = np.array([[e.owner for e in row] for row in entry_rows],
+                     dtype=np.int64)
+    live = np.array([[e.mode is not free for e in row]
+                     for row in entry_rows], dtype=bool)
+    cached = np.array([[e.mode is cmode for e in row]
+                       for row in entry_rows], dtype=bool)
+    valid = np.array([[e.valid for e in row] for row in entry_rows],
+                     dtype=np.uint64)
+    counts = None
+    if with_counts:
+        counts = np.array([[e.valid.bit_count() for e in row]
+                           for row in entry_rows], dtype=np.int64)
+    return owner, live, cached, valid, counts

@@ -9,7 +9,8 @@ from .request import (CACHE_LINE_BYTES, AccessResult, MemoryRequest,
                       MutableRequest, ServicedBy)
 from .stats import Histogram, StatGroup, geomean
 
-from .vectorized import BatchPlan, batch_capable
+from .vectorized import (BatchPlan, EpochPlan, batch_capable,
+                         epoch_capable, fallback_reason, replay_epoch)
 
 __all__ = [
     "CpuModel",
@@ -18,7 +19,11 @@ __all__ = [
     "SimResult",
     "SimulationDriver",
     "BatchPlan",
+    "EpochPlan",
     "batch_capable",
+    "epoch_capable",
+    "fallback_reason",
+    "replay_epoch",
     "EventEngine",
     "EventHandle",
     "RawAccess",

@@ -181,19 +181,35 @@ class SimulationDriver:
     After each :meth:`run` the driver records which engine executed:
     ``last_engine`` ("vector", "scalar", or "checked") plus
     ``last_vector_epochs`` / ``last_scalar_epochs`` (epoch counts at
-    the vector epoch granularity) — campaign timing records surface
-    these per cell.
+    the vector epoch granularity) and ``last_fallback_reason`` (why the
+    scalar loop ran: e.g. ``design-not-batch-capable``,
+    ``engine-forced-scalar``; None when the vector kernel ran) —
+    campaign timing records surface these per cell.
+
+    Raises:
+        ValueError: for a non-positive or non-integer ``vector_epoch``.
     """
 
     def __init__(self, cpu: CpuModel | None = None,
                  checker: "object | None" = None,
                  vector_epoch: int | None = None) -> None:
+        if vector_epoch is not None:
+            if isinstance(vector_epoch, bool) or not isinstance(
+                    vector_epoch, int):
+                raise ValueError(
+                    f"vector_epoch must be a positive integer, got "
+                    f"{vector_epoch!r} ({type(vector_epoch).__name__})")
+            if vector_epoch <= 0:
+                raise ValueError(
+                    f"vector_epoch must be a positive integer, got "
+                    f"{vector_epoch}")
         self.cpu = cpu or CpuModel()
         self.checker = checker
         self.vector_epoch = vector_epoch
         self.last_engine: str | None = None
         self.last_vector_epochs = 0
         self.last_scalar_epochs = 0
+        self.last_fallback_reason: str | None = None
 
     def run(self, controller: "HybridMemoryController",
             trace: Iterable[MemoryRequest],
@@ -254,23 +270,50 @@ class SimulationDriver:
         if self.checker is not None:
             self.last_engine = "checked"
             self.last_vector_epochs = 0
+            self.last_fallback_reason = "invariant-checker-active"
             return self._run_checked(controller, trace, workload,
                                      max_requests, warmup, self.checker)
-        if (engine != "scalar" and isinstance(trace, PackedTrace)
-                and len(trace)):
+        self.last_fallback_reason = None
+        if engine == "scalar":
+            self.last_fallback_reason = "engine-forced-scalar"
+        elif not isinstance(trace, PackedTrace):
+            self.last_fallback_reason = "object-stream"
+        elif len(trace):
             try:
-                from .vectorized import batch_capable, replay_vectorized
+                from .vectorized import (batch_capable, epoch_capable,
+                                         fallback_reason,
+                                         replay_epoch, replay_vectorized)
             except ImportError:  # pragma: no cover - numpy declared dep
                 batch_capable = None
-            if batch_capable is not None and batch_capable(controller):
-                result, epochs = replay_vectorized(
-                    self, controller, trace, workload=workload,
-                    max_requests=max_requests, warmup=warmup,
-                    epoch_requests=self.vector_epoch)
-                self.last_engine = "vector"
-                self.last_vector_epochs = epochs
-                self.last_scalar_epochs = 0
-                return result
+                self.last_fallback_reason = "numpy-unavailable"
+            if batch_capable is not None:
+                if batch_capable(controller):
+                    result, epochs = replay_vectorized(
+                        self, controller, trace, workload=workload,
+                        max_requests=max_requests, warmup=warmup,
+                        epoch_requests=self.vector_epoch)
+                elif (epoch_capable(controller)
+                      and fallback_reason(controller) is None):
+                    # An epoch-capable controller can still veto the
+                    # two-pass engine for a configuration whose feedback
+                    # is not epoch-granular (epoch_fallback_reason).
+                    result, epochs = replay_epoch(
+                        self, controller, trace, workload=workload,
+                        max_requests=max_requests, warmup=warmup,
+                        epoch_requests=self.vector_epoch)
+                else:
+                    result = None
+                    self.last_fallback_reason = (
+                        fallback_reason(controller)
+                        or "design-not-batch-capable")
+                if result is not None:
+                    self.last_engine = "vector"
+                    self.last_vector_epochs = epochs
+                    self.last_scalar_epochs = 0
+                    self.last_fallback_reason = None
+                    return result
+        else:
+            self.last_fallback_reason = "empty-trace"
         if isinstance(trace, PackedTrace):
             trace = trace.replay()
         cpu = self.cpu

@@ -34,9 +34,51 @@ equivalence is enforced by the four-path differential sanitizer
 (``repro sanitize``) and the property/identity tests.
 
 Controllers opt in by implementing ``batch_plan(addrs, is_writes) ->
-BatchPlan`` and registering with ``batch_replayable=True``; everything
-else falls back to the scalar loop automatically (see
+BatchPlan`` and registering with ``batch_replayable="stateless"``;
+everything else falls back to the scalar loop automatically (see
 ``SimulationDriver.run(engine=...)``).
+
+Two-pass epoch replay (``replay_epoch``)
+----------------------------------------
+
+Stateful designs whose feedback is *epoch-granular* — hotness counters,
+BLE mode bookkeeping, LRU stacks: state that demand hits only ever
+*accumulate* into, and that the hit path itself never reads — take a
+second, more general engine.  Pass 1 (:meth:`batch_epoch_plan`)
+classifies a whole epoch of requests against frozen controller state:
+which requests are *pure* (their placement and device-local address are
+fully determined, and serving them touches no state the classification
+read) and which must take the scalar path.  The engine then walks the
+epoch span by span: each maximal run of pure requests executes through
+an inlined bank/bus recurrence **directly against the live Bank/Channel
+objects**, after which pass 2 (:meth:`commit_epoch`) replays the span's
+deferred feedback (counter saturation, recency reordering, used/dirty
+bitmaps) in closed form; each non-pure request in between executes
+through the ordinary ``controller.access`` bridge against the same live
+devices.  Because pure requests by definition cannot change any
+classification input, deferring their feedback to the span boundary is
+exact — and the bridge is the scalar loop, so every float and every
+counter lands bit-identically.
+
+A scalar (bridged) request may invalidate classifications made against
+the frozen state (an eviction, a mode switch, a refill).  Controllers
+report a conservative *invalidation key* per request
+(:attr:`EpochPlan.inval_key`) and drain the keys dirtied by each bridged
+request (:meth:`epoch_invalidations`); the engine demotes every
+still-pending pure request sharing a dirtied key to the bridge.
+Demoting is always safe — the bridge is exact — so controllers only
+need their keys to be a *superset* of real interference, never precise.
+
+A scalar (bridged) request can also flip *global* state that the whole
+epoch's classification assumed frozen (a footprint-mode transition, a
+cooldown).  Controllers expose that state as a cheap hashable *guard
+token* (:meth:`epoch_guard_token`); the engine samples it at plan time
+and after every bridge, and demotes the entire rest of the epoch when it
+changes.
+
+Controllers opt in by implementing ``batch_epoch_plan``/``commit_epoch``
+(plus the optional ``epoch_guard_token``/``epoch_fallback_reason``
+hooks) and registering with ``batch_replayable="epoch"``.
 """
 
 from __future__ import annotations
@@ -51,7 +93,7 @@ except ImportError:      # pragma: no cover - numpy is a declared dep
 
 from ..traces.packed import ICOUNT_MAX, LINE_SHIFT, PackedTrace
 from .driver import LATENCY_BOUNDS, VECTOR_EPOCH_REQUESTS
-from .request import CACHE_LINE_BYTES
+from .request import CACHE_LINE_BYTES, MutableRequest
 from .stats import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -59,8 +101,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..mem.device import MemoryDevice
     from .driver import SimResult, SimulationDriver
 
-__all__ = ["BatchPlan", "batch_capable", "decode_epoch",
-           "replay_vectorized", "VECTOR_EPOCH_REQUESTS"]
+__all__ = ["BatchPlan", "EpochPlan", "batch_capable", "epoch_capable",
+           "fallback_reason", "decode_epoch", "replay_vectorized",
+           "replay_epoch", "VECTOR_EPOCH_REQUESTS"]
 
 
 @dataclass
@@ -81,10 +124,92 @@ class BatchPlan:
     local_addr: Any
 
 
+@dataclass
+class EpochPlan:
+    """Pass-1 classification of one epoch against frozen controller state.
+
+    Returned by :meth:`batch_epoch_plan`.  Controllers attach whatever
+    extra per-request columns :meth:`commit_epoch` needs as additional
+    attributes (the dataclass is deliberately not slotted).
+
+    Attributes:
+        pure: Bool array — requests whose placement is fully determined
+            by the frozen state and whose service touches nothing the
+            classification read.  Non-pure requests run through the
+            scalar ``controller.access`` bridge.
+        use_hbm: Bool array — which device serves each pure request
+            (meaningful only where ``pure``).
+        local_addr: Device-local byte address per pure request (already
+            wrapped into the serving device), int64.
+        meta_const: Constant metadata latency (ns) added to every pure
+            request's device access (designs with in-HBM metadata);
+            0.0 selects the fast no-metadata recurrence.
+        inval_key: Optional int64 array — conservative interference key
+            per request (e.g. the set index).  After each bridged
+            request the engine marks that request's key dirty and
+            demotes every later pure request sharing a dirtied key to
+            the bridge.  ``None`` disables key-based demotion (the
+            guard token still applies).
+    """
+
+    pure: Any
+    use_hbm: Any
+    local_addr: Any
+    meta_const: float = 0.0
+    inval_key: Any = None
+
+    # ---- optional full-script extensions ---------------------------------
+    # Designs whose metadata state machine never reads device timing can
+    # forward-replay the whole epoch in pass 1 (committing feedback
+    # immediately) and hand the engine a *device micro-op script* instead
+    # of bridging misses:
+    #
+    # ``meta``      — per-request metadata latency (ns) overriding
+    #                 ``meta_const`` (variable MAL designs).
+    # ``pre``       — ``{index: [(lane, addr, nbytes, is_write), ...]}``
+    #                 serial demand-style accesses (tag probes, serial
+    #                 cache probes) executed *before* the demand access;
+    #                 their duration extends the request's critical path
+    #                 and metadata time, exactly like the scalar
+    #                 ``probe_ns`` terms.
+    # ``post``      — ``{index: [(lane, addr, nbytes, is_write), ...]}``
+    #                 asynchronous bulk movement (mover fetches,
+    #                 writebacks) charged at the request's arrival time,
+    #                 mirroring ``MemoryDevice.bulk_transfer`` chunking.
+    #
+    # ``lane`` is 0 for the stacked device, 1 for off-chip DRAM.  A
+    # full-script plan must classify every request pure; the design's
+    # pass 1 bumps its own statistics (they are timing-independent).
+
+
 def batch_capable(controller: "HybridMemoryController") -> bool:
-    """Whether ``controller`` can take the vectorized path."""
+    """Whether ``controller`` can take the stateless vectorized path."""
     return np is not None and callable(getattr(controller, "batch_plan",
                                                None))
+
+
+def epoch_capable(controller: "HybridMemoryController") -> bool:
+    """Whether ``controller`` implements the two-pass epoch protocol."""
+    return np is not None and callable(
+        getattr(controller, "batch_epoch_plan", None))
+
+
+def fallback_reason(controller: "HybridMemoryController") -> str | None:
+    """Why no vectorized engine can replay ``controller``, or None.
+
+    The per-run reason a :class:`~repro.sim.driver.SimulationDriver`
+    records (``last_fallback_reason``) combines this with run-level
+    causes (forced scalar engine, unpacked trace, active invariant
+    checker).
+    """
+    if np is None:
+        return "numpy-unavailable"
+    if callable(getattr(controller, "batch_plan", None)):
+        return None
+    if callable(getattr(controller, "batch_epoch_plan", None)):
+        hook = getattr(controller, "epoch_fallback_reason", None)
+        return hook() if callable(hook) else None
+    return "design-not-batch-capable"
 
 
 def _require_numpy() -> None:
@@ -127,7 +252,8 @@ class _Lane:
 
     __slots__ = ("device", "code", "capacity", "interleave", "nchannels",
                  "row_bytes", "banks", "chan_offset", "bank_offset",
-                 "lat", "burst_ns", "bursts_per_access")
+                 "lat", "burst_ns", "bursts_per_access", "bus_bytes",
+                 "burst_bytes", "tck_half")
 
     def __init__(self, device: "MemoryDevice", code: int,
                  chan_offset: int, bank_offset: int) -> None:
@@ -151,6 +277,68 @@ class _Lane:
         burst_bytes = t.burst_length * bus
         bursts = (CACHE_LINE_BYTES + burst_bytes - 1) // burst_bytes
         self.bursts_per_access = bursts if bursts > 1 else 1
+        # Constants for expanding scripted device ops of arbitrary size.
+        self.bus_bytes = bus
+        self.burst_bytes = burst_bytes
+        self.tck_half = t.tck_ns / 2.0
+
+
+def _resolve_serial_op(lane: _Lane, addr: int, nbytes: int,
+                       is_write: bool) -> tuple:
+    """Expand one scripted demand-style probe into walk-ready scalars.
+
+    Mirrors ``MemoryDevice.access`` address decode plus the burst/energy
+    hoists of ``Channel.access`` so the walk can run the probe with the
+    same inlined arithmetic it uses for demand requests.
+    """
+    chunk = addr // lane.interleave
+    ch = chunk % lane.nchannels
+    loc = ((chunk // lane.nchannels) * lane.interleave
+           + addr % lane.interleave)
+    row_index = loc // lane.row_bytes
+    beats = (nbytes + lane.bus_bytes - 1) // lane.bus_bytes
+    bursts = (nbytes + lane.burst_bytes - 1) // lane.burst_bytes
+    lat = lane.lat
+    return (lane.chan_offset + ch,
+            lane.bank_offset + ch * lane.banks + row_index % lane.banks,
+            row_index // lane.banks,
+            lat[0], lat[1], lat[2],
+            (beats if beats > 1 else 1) * lane.tck_half,
+            nbytes, is_write,
+            bursts if bursts > 1 else 1)
+
+
+def _resolve_bulk_op(lane: _Lane, addr: int, nbytes: int,
+                     is_write: bool) -> list[tuple]:
+    """Expand one scripted bulk transfer into per-channel chunk tuples.
+
+    Mirrors ``MemoryDevice.bulk_transfer`` chunking exactly: the byte
+    count splits into equal shares over ``min(channels, chunks)``
+    consecutive channels starting at the address's home channel, and
+    every chunk charges the *share*'s row count (as the device does).
+    """
+    chunks = (nbytes + lane.interleave - 1) // lane.interleave
+    if chunks < 1:
+        chunks = 1
+    channels_used = min(lane.nchannels, chunks)
+    share = (nbytes + channels_used - 1) // channels_used
+    rows = max(1, share // lane.row_bytes)
+    start = (addr // lane.interleave) % lane.nchannels
+    remaining = nbytes
+    out = []
+    for k in range(channels_used):
+        if remaining <= 0:
+            break
+        cn = share if share < remaining else remaining
+        beats = (cn + lane.bus_bytes - 1) // lane.bus_bytes
+        bursts = (cn + lane.burst_bytes - 1) // lane.burst_bytes
+        out.append((lane.chan_offset + (start + k) % lane.nchannels,
+                    (beats if beats > 1 else 1) * lane.tck_half,
+                    cn,
+                    bursts if bursts > 1 else 1,
+                    rows, is_write))
+        remaining -= cn
+    return out
 
 
 def _segments(n: int, max_requests: int | None,
@@ -453,4 +641,542 @@ def replay_vectorized(driver: "SimulationDriver",
     result = driver._build_result(
         controller, workload, instructions, measured_requests, elapsed,
         total_latency, 0.0, hbm_hits, histogram)
+    return result, epochs
+
+
+def replay_epoch(driver: "SimulationDriver",
+                 controller: "HybridMemoryController",
+                 trace: PackedTrace,
+                 workload: str = "unnamed",
+                 max_requests: int | None = None,
+                 warmup: int = 0,
+                 epoch_requests: int | None = None
+                 ) -> tuple["SimResult", int]:
+    """Replay ``trace`` through the two-pass epoch engine.
+
+    Pass 1 (:meth:`batch_epoch_plan`) classifies each epoch against the
+    controller's frozen state; the walk below then executes every
+    still-valid pure request through an inlined copy of the scalar
+    device arithmetic **against the live Bank/Channel objects** (so
+    bridged requests and movement traffic interleave exactly), flushing
+    the deferred feedback (:meth:`commit_epoch`) before every bridge and
+    at the epoch boundary.  Every float operation happens in the same
+    order as the scalar loop, so the result is bit-identical.
+
+    Returns:
+        ``(result, epochs)`` — a :class:`~repro.sim.driver.SimResult`
+        bit-identical to the scalar loop's, and the number of epochs
+        processed.
+
+    Raises:
+        ValueError: on a non-positive epoch size or a malformed
+            :class:`EpochPlan` (wrong length, out-of-range local
+            address, HBM use on a design without HBM).
+    """
+    _require_numpy()
+    if epoch_requests is None:
+        # A controller whose pass-1 classification reads a *frozen*
+        # snapshot (rather than forward-replaying the epoch) trades
+        # purity for epoch length: everything that becomes resident
+        # mid-epoch still bridges until the next snapshot.  Such
+        # designs advise a shorter epoch; an explicit ``vector_epoch``
+        # always wins, and the choice is performance-only — results
+        # are bit-identical at any size (pinned by tests).
+        epoch_requests = getattr(controller, "preferred_epoch_requests",
+                                 None)
+    epoch = int(epoch_requests or VECTOR_EPOCH_REQUESTS)
+    if epoch <= 0:
+        raise ValueError(f"epoch_requests must be positive, got {epoch}")
+
+    cpu = driver.cpu
+    retire_rate = cpu.ipc_peak * cpu.cores
+    freq_ghz = cpu.freq_ghz
+    mlp = cpu.mlp
+
+    # ---- device lanes, live object tables, lookup tables ----------------
+    lanes: list[_Lane] = []
+    chan_off = bank_off = 0
+    if controller.hbm is not None:
+        hbm_lane = _Lane(controller.hbm, 0, 0, 0)
+        lanes.append(hbm_lane)
+        chan_off = hbm_lane.nchannels
+        bank_off = hbm_lane.nchannels * hbm_lane.banks
+    dram_lane = _Lane(controller.dram, 1, chan_off, bank_off)
+    lanes.append(dram_lane)
+    nch = chan_off + dram_lane.nchannels
+    nbank = bank_off + dram_lane.nchannels * dram_lane.banks
+    channels_flat: list = [None] * nch
+    banks_flat: list = [None] * nbank
+    chunk_by_chan = [0.0] * nch
+    bursts_by_chan = np.zeros(nch, dtype=np.int64)
+    lat_table = np.zeros((2, 3), dtype=np.float64)
+    burst_table = np.zeros(2, dtype=np.float64)
+    for lane in lanes:
+        lat_table[lane.code] = lane.lat
+        burst_table[lane.code] = lane.burst_ns
+        for index, channel in enumerate(lane.device.channels):
+            gid = lane.chan_offset + index
+            channels_flat[gid] = channel
+            chunk_by_chan[gid] = channel._chunk_ns
+            bursts_by_chan[gid] = lane.bursts_per_access
+            for bank_index, bank in enumerate(channel.banks):
+                banks_flat[lane.bank_offset + index * lane.banks
+                           + bank_index] = bank
+
+    lane_by_code: dict[int, _Lane] = {lane.code: lane for lane in lanes}
+    # Scripted micro-ops repeat heavily across epochs (slot addresses
+    # recur), so decoded forms are memoized for the whole run, keyed by
+    # the raw ``(lane_code, addr, nbytes, is_write)`` tuple.
+    serial_memo: dict[tuple, tuple] = {}
+    bulk_memo: dict[tuple, list] = {}
+
+    visible = controller.os_visible_bytes()
+    controller._os_visible_cache = visible
+    fault_penalty_ns = float(controller.PAGE_FAULT_NS)
+    plan_fn = controller.batch_epoch_plan
+    commit_fn = controller.commit_epoch
+    guard_fn = getattr(controller, "epoch_guard_token", None)
+    if not callable(guard_fn):
+        guard_fn = None
+    controller_access = controller.access
+    fault_penalty = controller.page_fault_penalty_ns
+    request = MutableRequest()
+
+    values_all = np.frombuffer(trace.data, dtype=np.uint64)
+
+    # ---- measured-window accumulators -----------------------------------
+    histogram = Histogram(bounds=list(LATENCY_BOUNDS))
+    reads_per_chan = np.zeros(nch, dtype=np.int64)
+    writes_per_chan = np.zeros(nch, dtype=np.int64)
+    acts_per_chan = np.zeros(nch, dtype=np.int64)
+    hits_per_bank = np.zeros(nbank, dtype=np.int64)
+    closed_per_bank = np.zeros(nbank, dtype=np.int64)
+    conflicts_per_bank = np.zeros(nbank, dtype=np.int64)
+    instructions = 0
+    measured_requests = 0
+    hbm_hits = 0
+    pure_hbm_hits = 0
+    faults = 0
+    demand_reads = 0
+    demand_writes = 0
+    total_latency = 0.0
+    total_metadata = 0.0
+
+    now = 0.0
+    measure_start = 0.0
+    epochs = 0
+    segments = _segments(len(trace), max_requests, warmup)
+    for seg_start, seg_stop, measured in segments:
+        if measured and len(segments) == 2:
+            # The warm-up boundary: the scalar loop's reset (devices
+            # back to power-on FSM state, statistics zeroed); placement
+            # and metadata state persists, exactly as in the scalar run.
+            controller.reset_measurements()
+            measure_start = now
+
+        for start in range(seg_start, seg_stop, epoch):
+            stop = min(start + epoch, seg_stop)
+            epochs += 1
+            values = values_all[start:stop]
+            m = values.shape[0]
+            addr, is_write, icount = _decode_values(values)
+
+            comp = icount / retire_rate / freq_ghz
+            fault_mask = addr >= visible
+            fault_arr = np.where(fault_mask, fault_penalty_ns, 0.0)
+
+            # ---- pass 1: classify against frozen state -----------------
+            plan = plan_fn(addr, is_write)
+            pure = np.asarray(plan.pure, dtype=bool)
+            if pure.shape[0] != m:
+                raise ValueError(
+                    f"batch_epoch_plan returned {pure.shape[0]} entries "
+                    f"for a {m}-request epoch")
+            meta_const = float(plan.meta_const)
+
+            # ---- optional full-script extensions -----------------------
+            meta_arr = getattr(plan, "meta", None)
+            meta_l = None
+            if meta_arr is not None:
+                meta_l = (meta_arr if type(meta_arr) is list
+                          else np.asarray(meta_arr,
+                                          dtype=np.float64).tolist())
+                if len(meta_l) != m:
+                    raise ValueError(
+                        f"batch_epoch_plan returned {len(meta_l)} "
+                        f"metadata latencies for a {m}-request epoch")
+            pre_raw = getattr(plan, "pre", None)
+            pre_ops = None
+            if pre_raw:
+                smemo_get = serial_memo.get
+                pre_ops = {}
+                for i, ops in pre_raw.items():
+                    rops = []
+                    for op in ops:
+                        r = smemo_get(op)
+                        if r is None:
+                            code, a, n, w = op
+                            r = serial_memo[op] = _resolve_serial_op(
+                                lane_by_code[code], a, n, w)
+                        rops.append(r)
+                    pre_ops[i] = rops
+            post_raw = getattr(plan, "post", None)
+            post_ops = None
+            if post_raw:
+                bmemo_get = bulk_memo.get
+                post_ops = {}
+                for i, ops in post_raw.items():
+                    flat = []
+                    for code, a, n, w in ops:
+                        lane = lane_by_code[code]
+                        # Bulk decode depends on the address only through
+                        # its starting channel, so the memo key collapses
+                        # to a handful of entries per lane.
+                        key = (code, (a // lane.interleave)
+                               % lane.nchannels, n, w)
+                        r = bmemo_get(key)
+                        if r is None:
+                            r = bulk_memo[key] = _resolve_bulk_op(
+                                lane, a, n, w)
+                        flat.extend(r)
+                    post_ops[i] = flat
+            scripted = (meta_l is not None or pre_ops is not None
+                        or post_ops is not None)
+            pre_get = pre_ops.get if pre_ops is not None else None
+            post_get = post_ops.get if post_ops is not None else None
+
+            use_hbm = np.where(pure, np.asarray(plan.use_hbm, dtype=bool),
+                               False)
+            if controller.hbm is None and use_hbm.any():
+                raise ValueError(
+                    f"batch_epoch_plan of {controller.name!r} routed "
+                    f"requests to HBM but the design has no stacked "
+                    f"device")
+            local = np.where(pure, np.asarray(plan.local_addr,
+                                              dtype=np.int64), 0)
+
+            # Interleaved address decode for the pure candidates (the
+            # same arithmetic as MemoryDevice.access).
+            chan_gid = np.zeros(m, dtype=np.int64)
+            bank_gid = np.zeros(m, dtype=np.int64)
+            row = np.zeros(m, dtype=np.int64)
+            for lane in lanes:
+                mask = pure & (use_hbm if lane.code == 0 else ~use_hbm)
+                la = local[mask]
+                if la.size == 0:
+                    continue
+                if int(la.min()) < 0 or int(la.max()) >= lane.capacity:
+                    raise ValueError(
+                        f"batch_epoch_plan of {controller.name!r} "
+                        f"produced a local address outside the "
+                        f"{lane.device.name} capacity")
+                chunk = la // lane.interleave
+                ch = chunk % lane.nchannels
+                loc = ((chunk // lane.nchannels) * lane.interleave
+                       + la % lane.interleave)
+                row_index = loc // lane.row_bytes
+                chan_gid[mask] = ch + lane.chan_offset
+                bank_gid[mask] = (lane.bank_offset + ch * lane.banks
+                                  + row_index % lane.banks)
+                row[mask] = row_index // lane.banks
+
+            device_idx = np.where(use_hbm, 0, 1)
+            lat3 = lat_table[device_idx]
+            hit_lat = lat3[:, 0]
+            closed_lat = lat3[:, 1]
+            conflict_lat = lat3[:, 2]
+            burst = burst_table[device_idx]
+
+            # Plain lists: scalar indexing inside the walk is much
+            # cheaper on lists than on numpy arrays.
+            comp_l = comp.tolist()
+            fault_l = fault_arr.tolist()
+            pure_l = pure.tolist()
+            addr_l = addr.tolist()
+            write_l = is_write.tolist()
+            icount_l = icount.tolist()
+            chan_l = chan_gid.tolist()
+            bank_l = bank_gid.tolist()
+            row_l = row.tolist()
+            hit_l = hit_lat.tolist()
+            closed_l = closed_lat.tolist()
+            conf_l = conflict_lat.tolist()
+            burst_l = burst.tolist()
+            keys = plan.inval_key
+            key_l = (np.asarray(keys).tolist()
+                     if keys is not None else None)
+
+            # ---- the epoch walk ----------------------------------------
+            # Pure requests run the inlined scalar device arithmetic
+            # against the live banks/channels (bank FSM, backlog drain,
+            # movement interference, bus serialisation — the same ops in
+            # the same order as Channel.access/Bank.access); impure ones
+            # flush pending feedback and bridge through
+            # ``controller.access``.
+            token = guard_fn() if guard_fn is not None else None
+            dirty: set = set()
+            demoted_all = False
+            pend: list[int] = []
+            executed: list[int] = []
+            outcomes: list[int] = []
+            latencies: list[float] = []
+            lat_append = latencies.append
+            out_append = outcomes.append
+            pend_append = pend.append
+            bridged = 0
+            bridged_hbm = 0
+            running = total_latency
+            running_meta = total_metadata
+            t = now
+            for i, (is_pure, comp_ns, f, c, bank_i, r, lat_hit,
+                    lat_closed, lat_conf, burst_ns) in enumerate(zip(
+                        pure_l, comp_l, fault_l, chan_l, bank_l, row_l,
+                        hit_l, closed_l, conf_l, burst_l)):
+                if (is_pure and not demoted_all
+                        and (key_l is None or key_l[i] not in dirty)):
+                    t += comp_ns
+                    arrival = t + f
+                    if not scripted:
+                        mc = meta_const
+                        probes = None
+                        t0 = arrival + mc
+                    else:
+                        mc = (meta_l[i] if meta_l is not None
+                              else meta_const)
+                        probes = (pre_get(i) if pre_get is not None
+                                  else None)
+                        if probes is None:
+                            t0 = arrival + mc
+                        else:
+                            # Serial probes: each runs the same inlined
+                            # demand arithmetic at the running cursor
+                            # and extends the critical path, exactly
+                            # like the scalar probe_ns composition.
+                            for (c2, b2, r2, lh2, lc2, lf2, bn2, nb2,
+                                 wr2, bs2) in probes:
+                                cur = arrival + mc
+                                ch = channels_flat[c2]
+                                if cur > ch._backlog_at_ns:
+                                    drained = (ch._backlog_ns
+                                               - (cur
+                                                  - ch._backlog_at_ns))
+                                    ch._backlog_ns = (
+                                        drained if drained > 0.0
+                                        else 0.0)
+                                    ch._backlog_at_ns = cur
+                                bk = banks_flat[b2]
+                                busy = bk._busy_until_ns
+                                issue = cur if cur > busy else busy
+                                orow = bk._open_row
+                                ctr = ch.counters
+                                if orow == r2:
+                                    data = issue + lh2
+                                    bk.hits += 1
+                                elif orow is None:
+                                    data = issue + lc2
+                                    bk.closed += 1
+                                    ctr.activations += 1
+                                else:
+                                    data = issue + lf2
+                                    bk.conflicts += 1
+                                    ctr.activations += 1
+                                bk._open_row = r2
+                                bk._busy_until_ns = data
+                                backlog = ch._backlog_ns
+                                chunk_ns = chunk_by_chan[c2]
+                                interference = (backlog
+                                                if backlog < chunk_ns
+                                                else chunk_ns)
+                                free = ch._bus_free_ns
+                                done = ((data if data > free else free)
+                                        + interference + bn2)
+                                ch._bus_free_ns = done
+                                if wr2:
+                                    ctr.write_bursts += bs2
+                                    ch.write_bytes += nb2
+                                else:
+                                    ctr.read_bursts += bs2
+                                    ch.read_bytes += nb2
+                                mc += done - cur
+                            t0 = arrival + mc
+                    ch = channels_flat[c]
+                    bk = banks_flat[bank_i]
+                    if t0 > ch._backlog_at_ns:
+                        drained = ch._backlog_ns - (t0 - ch._backlog_at_ns)
+                        ch._backlog_ns = (drained if drained > 0.0
+                                          else 0.0)
+                        ch._backlog_at_ns = t0
+                    busy = bk._busy_until_ns
+                    issue = t0 if t0 > busy else busy
+                    orow = bk._open_row
+                    if orow == r:
+                        data = issue + lat_hit
+                        out = 0
+                    elif orow is None:
+                        data = issue + lat_closed
+                        out = 1
+                    else:
+                        data = issue + lat_conf
+                        out = 2
+                    bk._open_row = r
+                    bk._busy_until_ns = data
+                    backlog = ch._backlog_ns
+                    chunk_ns = chunk_by_chan[c]
+                    interference = (backlog if backlog < chunk_ns
+                                    else chunk_ns)
+                    free = ch._bus_free_ns
+                    done = ((data if data > free else free)
+                            + interference + burst_ns)
+                    ch._bus_free_ns = done
+                    if probes is None:
+                        # _demand_* composes latency from the caller's
+                        # now_ns even though the access starts at
+                        # now_ns + metadata_ns.
+                        latency = (done - arrival) + f
+                    else:
+                        # Probe composition: probe_ns + demand latency
+                        # measured from the shifted start (AccessResult
+                        # addition order in Alloy/Unison).
+                        latency = (mc + (done - t0)) + f
+                    running += latency
+                    running_meta += mc
+                    t += latency / mlp
+                    lat_append(latency)
+                    out_append(out)
+                    pend_append(i)
+                    if post_get is not None:
+                        bops = post_get(i)
+                        if bops is not None:
+                            # Bulk movement charged at the request's
+                            # arrival, mirroring Channel.bulk_transfer.
+                            for (c3, bn3, nb3, bs3, rw3, wr3) in bops:
+                                ch3 = channels_flat[c3]
+                                if arrival > ch3._backlog_at_ns:
+                                    drained = (
+                                        ch3._backlog_ns
+                                        - (arrival
+                                           - ch3._backlog_at_ns))
+                                    ch3._backlog_ns = (
+                                        drained if drained > 0.0
+                                        else 0.0)
+                                    ch3._backlog_at_ns = arrival
+                                nbk = ch3._backlog_ns + bn3
+                                ch3._backlog_ns = nbk
+                                done3 = arrival + nbk
+                                ctr3 = ch3.counters
+                                ctr3.activations += rw3
+                                if wr3:
+                                    ctr3.write_bursts += bs3
+                                    ch3.write_bytes += nb3
+                                else:
+                                    ctr3.read_bursts += bs3
+                                    ch3.read_bytes += nb3
+                                if done3 > ctr3.busy_ns:
+                                    ctr3.busy_ns = done3
+                else:
+                    if pend:
+                        commit_fn(plan, pend)
+                        executed.extend(pend)
+                        pend = []
+                        pend_append = pend.append
+                    request.addr = addr_l[i]
+                    request.is_write = write_l[i]
+                    request.icount = icount_l[i]
+                    t += comp_ns
+                    fns = fault_penalty(request)
+                    result = controller_access(request, t + fns)
+                    latency = result.latency_ns + fns
+                    t += latency / mlp
+                    running += latency
+                    running_meta += result.metadata_ns
+                    lat_append(latency)
+                    bridged += 1
+                    if result.hbm_hit:
+                        bridged_hbm += 1
+                    if key_l is not None:
+                        dirty.add(key_l[i])
+                    if guard_fn is not None and not demoted_all:
+                        fresh = guard_fn()
+                        if fresh != token:
+                            demoted_all = True
+            if pend:
+                commit_fn(plan, pend)
+                executed.extend(pend)
+            now = t
+
+            if not measured:
+                continue
+
+            # ---- bulk accumulation (measured window only) --------------
+            total_latency = running
+            total_metadata = running_meta
+            histogram.add_many(latencies)
+            instructions += int(icount.sum())
+            measured_requests += m
+            hbm_hits += bridged_hbm
+            if executed:
+                idx = np.asarray(executed, dtype=np.int64)
+                outs = np.asarray(outcomes, dtype=np.int64)
+                cg = chan_gid[idx]
+                bg = bank_gid[idx]
+                wr = is_write[idx]
+                epoch_pure_hbm = int(use_hbm[idx].sum())
+                pure_hbm_hits += epoch_pure_hbm
+                hbm_hits += epoch_pure_hbm
+                faults += int(fault_mask[idx].sum())
+                writes = int(wr.sum())
+                demand_writes += writes
+                demand_reads += idx.shape[0] - writes
+                reads_per_chan += np.bincount(cg[~wr], minlength=nch)
+                writes_per_chan += np.bincount(cg[wr], minlength=nch)
+                acts_per_chan += np.bincount(cg[outs != 0],
+                                             minlength=nch)
+                hits_per_bank += np.bincount(bg[outs == 0],
+                                             minlength=nbank)
+                closed_per_bank += np.bincount(bg[outs == 1],
+                                               minlength=nbank)
+                conflicts_per_bank += np.bincount(bg[outs == 2],
+                                                  minlength=nbank)
+
+    # ---- write the deferred measured state back into the controller -----
+    # The stats bumps are conditional: the scalar loop only creates a
+    # counter key when it actually increments, and controller_stats
+    # equality is exact.  Bridged requests already bumped their own stats
+    # and device counters live; everything deferred here is add-only or
+    # a max-watermark, so epoch-end accumulation commutes exactly.
+    bump = controller.stats.bump
+    if demand_reads:
+        bump("demand_reads", demand_reads)
+    if demand_writes:
+        bump("demand_writes", demand_writes)
+    if pure_hbm_hits:
+        bump("hbm_demand_hits", pure_hbm_hits)
+    if faults:
+        bump("page_faults", faults)
+    for lane in lanes:
+        per_access = lane.bursts_per_access
+        for index, channel in enumerate(lane.device.channels):
+            gid = lane.chan_offset + index
+            reads = int(reads_per_chan[gid])
+            writes = int(writes_per_chan[gid])
+            channel.read_bytes += reads * CACHE_LINE_BYTES
+            channel.write_bytes += writes * CACHE_LINE_BYTES
+            counters = channel.counters
+            counters.activations += int(acts_per_chan[gid])
+            counters.read_bursts += reads * per_access
+            counters.write_bursts += writes * per_access
+            if channel._bus_free_ns > counters.busy_ns:
+                counters.busy_ns = channel._bus_free_ns
+            for bank_index, bank in enumerate(channel.banks):
+                bgid = (lane.bank_offset + index * lane.banks
+                        + bank_index)
+                bank.hits += int(hits_per_bank[bgid])
+                bank.closed += int(closed_per_bank[bgid])
+                bank.conflicts += int(conflicts_per_bank[bgid])
+
+    controller.finish(now)
+    elapsed = now - measure_start
+    result = driver._build_result(
+        controller, workload, instructions, measured_requests, elapsed,
+        total_latency, total_metadata, hbm_hits, histogram)
     return result, epochs

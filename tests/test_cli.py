@@ -88,3 +88,10 @@ class TestCommands:
         code = main(["sanitize", "--designs", "MagicCache",
                      "--seeds", "1"])
         assert code == 2
+
+    def test_sanitize_rejects_bad_vector_epoch(self, capsys):
+        for bad in ("0", "-64"):
+            code = main(["sanitize", "--designs", "Banshee",
+                         "--seeds", "1", "--vector-epoch", bad])
+            assert code == 2
+            assert "--vector-epoch" in capsys.readouterr().err

@@ -13,16 +13,25 @@ harness must record which engine ran in its per-cell timing.
 from array import array
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import ExperimentConfig, ExperimentHarness
 from repro.baselines import make_controller
+from repro.core import BumblebeeConfig, BumblebeeController
 from repro.designs import registry
-from repro.sim import SimulationDriver, batch_capable
+from repro.sim import (SimulationDriver, batch_capable, epoch_capable,
+                       fallback_reason)
 from repro.traces import SyntheticTraceGenerator, synthetic_spec
 from repro.traces.packed import PackedTrace, encode_request
 
 CONFIG = ExperimentConfig(requests=1200, warmup=400, workloads=("mcf",))
 BATCH_DESIGNS = ("No-HBM", "Ideal")
+#: Every spec on the two-pass epoch tier — the feedback designs that
+#: newly vectorize.  Derived from the registry so a design added later
+#: joins the bit-identity matrix automatically.
+EPOCH_DESIGNS = tuple(name for name in registry.names()
+                      if registry.batch_tier(name) == "epoch")
 N = 1700
 
 
@@ -112,17 +121,82 @@ class TestBitIdentity:
         assert all(result == results[0] for result in results[1:])
 
 
+class TestEpochBitIdentity:
+    """The two-pass engine on every feedback design that declares it."""
+
+    def test_epoch_designs_identical_to_scalar(self):
+        """Vector == scalar for all 15 epoch-tier designs across the
+        warm-up x cap matrix (including the cap-inside-warm-up edge)."""
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness)
+        assert len(EPOCH_DESIGNS) >= 15
+        for design in EPOCH_DESIGNS:
+            for warmup, cap in ((0, None), (400, None), (400, 200),
+                                (0, 700)):
+                scalar, _ = _run(harness, design, trace, "scalar",
+                                 warmup=warmup, max_requests=cap)
+                vector, driver = _run(harness, design, trace, "vector",
+                                      warmup=warmup, max_requests=cap)
+                label = (design, warmup, cap)
+                assert driver.last_engine == "vector", label
+                assert driver.last_fallback_reason is None, label
+                assert vector == scalar, label
+
+    def test_small_epochs_identical(self):
+        """Tiny epochs maximise commit_epoch invocations and cross-epoch
+        feedback carry; the result must not change."""
+        harness = ExperimentHarness(CONFIG)
+        trace = _trace(harness)
+        for design in EPOCH_DESIGNS:
+            scalar, _ = _run(harness, design, trace, "scalar",
+                             warmup=400)
+            for epoch in (64, 512):
+                vector, driver = _run(harness, design, trace, "vector",
+                                      warmup=400, vector_epoch=epoch)
+                assert driver.last_engine == "vector", (design, epoch)
+                assert vector == scalar, (design, epoch)
+
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_two_pass_commit_matches_scalar_feedback_order(self, data):
+        """Property pin: whatever the request mix, the two-pass engine's
+        deferred ``commit_epoch`` replays Bumblebee's feedback (BLE used
+        and dirty bits, hotness counter order) exactly as the scalar
+        loop applied it inline — every SimResult field equal."""
+        harness = ExperimentHarness(CONFIG)
+        lines = (32 << 20) // 64
+        n = data.draw(st.integers(min_value=64, max_value=300))
+        stream = data.draw(st.lists(
+            st.tuples(st.integers(0, lines - 1), st.booleans(),
+                      st.integers(0, 200)),
+            min_size=n, max_size=n))
+        trace = PackedTrace(array("Q", [
+            encode_request(line * 64, wr, icount)
+            for line, wr, icount in stream]))
+        warmup = data.draw(st.sampled_from([0, 50]))
+        epoch = data.draw(st.sampled_from([None, 32, 256]))
+        scalar, _ = _run(harness, "Bumblebee", trace, "scalar",
+                         warmup=warmup)
+        vector, driver = _run(harness, "Bumblebee", trace, "vector",
+                              warmup=warmup, vector_epoch=epoch)
+        assert driver.last_engine == "vector"
+        assert vector == scalar
+
+
 class TestFallback:
     def test_unsupported_design_falls_back_to_scalar(self):
+        """MemPod is the one remaining ``batch_replayable="none"``
+        design — its interval migration is not epoch-replayable."""
         harness = ExperimentHarness(CONFIG)
         trace = _trace(harness, n=600)
-        scalar, _ = _run(harness, "Bumblebee", trace, "scalar",
+        scalar, _ = _run(harness, "MemPod", trace, "scalar",
                          warmup=200)
-        vector, driver = _run(harness, "Bumblebee", trace, "vector",
+        vector, driver = _run(harness, "MemPod", trace, "vector",
                               warmup=200)
         assert driver.last_engine == "scalar"
         assert driver.last_vector_epochs == 0
         assert driver.last_scalar_epochs > 0
+        assert driver.last_fallback_reason == "design-not-batch-capable"
         assert vector == scalar
 
     def test_object_stream_stays_scalar(self):
@@ -139,7 +213,9 @@ class TestFallback:
         trace = _trace(harness, n=600)
         _, on_batch = _run(harness, "Ideal", trace, "auto")
         assert on_batch.last_engine == "vector"
-        _, on_scalar = _run(harness, "Bumblebee", trace, "auto")
+        _, on_epoch = _run(harness, "Bumblebee", trace, "auto")
+        assert on_epoch.last_engine == "vector"
+        _, on_scalar = _run(harness, "MemPod", trace, "auto")
         assert on_scalar.last_engine == "scalar"
 
     def test_unknown_engine_rejected(self):
@@ -147,20 +223,81 @@ class TestFallback:
         with pytest.raises(ValueError, match="engine"):
             _run(harness, "Ideal", _trace(harness, n=8), "bogus")
 
+    def test_epoch_granularity_veto_forces_scalar(self):
+        """A Bumblebee configuration with more than 64 blocks per page
+        cannot pack its block-valid bitmaps into uint64 lanes; the
+        controller stays epoch-capable but vetoes the engine, and the
+        driver records the veto reason."""
+        harness = ExperimentHarness(CONFIG)
+        config = BumblebeeConfig(page_bytes=8192,    # 128 blocks/page
+                                 block_bytes=64)
+        assert config.blocks_per_page > 64
+
+        def wide(name):
+            return BumblebeeController(harness.hbm_config,
+                                       harness.dram_config, config,
+                                       name=name)
+
+        assert epoch_capable(wide("probe"))
+        assert fallback_reason(wide("probe")) \
+            == "feedback-not-epoch-granular"
+        trace = _trace(harness, n=600)
+        driver = SimulationDriver(harness.config.cpu)
+        vector = driver.run(wide("wide"), trace, workload="mcf",
+                            warmup=200, engine="vector")
+        assert driver.last_engine == "scalar"
+        assert driver.last_fallback_reason \
+            == "feedback-not-epoch-granular"
+        scalar = SimulationDriver(harness.config.cpu).run(
+            wide("wide"), trace, workload="mcf", warmup=200,
+            engine="scalar")
+        assert vector == scalar
+
+    def test_vector_epoch_validation(self):
+        """Regression: bad epoch sizes fail fast at construction, not
+        deep inside a campaign."""
+        for bad in (0, -1, -512, 2.5, True, "64"):
+            with pytest.raises(ValueError, match="vector_epoch"):
+                SimulationDriver(vector_epoch=bad)
+        assert SimulationDriver(vector_epoch=64).vector_epoch == 64
+
 
 class TestRegistryCapability:
-    def test_declared_flag_matches_controller(self):
+    def test_declared_tier_matches_controller(self):
         """``batch_replayable`` in the registry is declarative; the
-        driver trusts only ``batch_plan`` on the built controller.
-        This pin keeps the two in agreement for every spec."""
+        driver trusts only the hooks on the built controller
+        (``batch_plan`` / ``batch_epoch_plan``).  This pin keeps the
+        declared tier in agreement with the implementation for every
+        spec: stateless designs expose ``batch_plan``, epoch designs
+        expose the two-pass protocol without a fallback veto, and
+        ``none`` designs expose neither."""
         harness = ExperimentHarness(CONFIG)
         for name in registry.names():
-            declared = registry.design(
-                registry.spec(name).base).batch_replayable
+            tier = registry.batch_tier(name)
             controller = make_controller(
                 name, harness.hbm_config, harness.dram_config,
                 sram_bytes=harness.config.scale.sram_bytes)
-            assert batch_capable(controller) == declared, name
+            if tier == "stateless":
+                assert batch_capable(controller), name
+            elif tier == "epoch":
+                assert not batch_capable(controller), name
+                assert epoch_capable(controller), name
+                assert fallback_reason(controller) is None, name
+            else:
+                assert tier == "none", name
+                assert not batch_capable(controller), name
+                assert not epoch_capable(controller), name
+
+    def test_engine_coverage_never_silently_drops(self):
+        """A refactor that quietly loses a design's batch hooks would
+        show up only as a slowdown; fail loudly instead.  17 of the 18
+        registered specs vectorize today — all but MemPod."""
+        tiers = {name: registry.batch_tier(name)
+                 for name in registry.names()}
+        capable = [n for n, t in tiers.items() if t != "none"]
+        assert len(tiers) >= 18
+        assert len(capable) >= 17
+        assert [n for n, t in tiers.items() if t == "none"] == ["MemPod"]
 
 
 class TestEngineObservability:
@@ -171,11 +308,12 @@ class TestEngineObservability:
         assert timing["engine_vector"] == 1.0
         assert timing["engine_scalar"] == 0.0
         assert timing["vector_epochs"] >= 1.0
-        harness.run_design("Bumblebee", "mcf")
-        timing = harness.cell_timing("Bumblebee", "mcf")
+        harness.run_design("MemPod", "mcf")
+        timing = harness.cell_timing("MemPod", "mcf")
         assert timing["engine_vector"] == 0.0
         assert timing["engine_scalar"] == 1.0
         assert timing["scalar_epochs"] >= 1.0
+        assert timing["fallback_design_not_batch_capable"] == 1.0
 
     def test_config_engine_scalar_forces_reference_loop(self):
         config = ExperimentConfig(requests=1200, warmup=400,
