@@ -21,11 +21,14 @@ same off-values disable it.
 
 from __future__ import annotations
 
+import json
 import os
+import re
 from pathlib import Path
 
 import pytest
 
+import repro
 from repro import ExperimentConfig, ExperimentHarness
 from repro.analysis import ResultCache
 
@@ -60,6 +63,8 @@ def _bench_trace_cache_dir() -> str:
 def harness() -> ExperimentHarness:
     """The shared experiment harness (session-wide caches)."""
     ARTIFACT_LOG.write_text("")  # fresh artifact log per suite run
+    for stale in ARTIFACT_LOG.parent.glob("BENCH_*.json"):
+        stale.unlink()
     config = ExperimentConfig(
         requests=_env_int("REPRO_BENCH_REQUESTS", DEFAULT_REQUESTS),
         warmup=_env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP),
@@ -72,14 +77,44 @@ ARTIFACT_LOG = Path(__file__).resolve().parent.parent / \
     "bench_artifacts.txt"
 
 
-def emit(title: str, body: str) -> None:
+def _slugify(title: str) -> str:
+    """A stable filename token from an artifact title."""
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:48]
+
+
+def emit(title: str, body: str, data: dict | None = None,
+         slug: str | None = None) -> None:
     """Print a paper-artefact table and persist it to the artifact log.
 
     pytest captures stdout unless run with ``-s``; the log file keeps the
     regenerated tables available either way (one file per suite run —
     truncated by the session-scoped harness fixture).
+
+    ``data`` additionally writes a machine-readable ``BENCH_<slug>.json``
+    next to ``bench_artifacts.txt``: the artifact's scalar metrics
+    stamped with the package version, so ``repro db ingest`` can track
+    the perf trajectory across versions instead of diffing prose.  Pass
+    an explicit ``slug`` for titles that embed run-dependent numbers —
+    the filename is the trend's identity, so it must be stable across
+    suite runs and versions.
     """
     text = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}"
     print(text)
     with open(ARTIFACT_LOG, "a") as fh:
         fh.write(text + "\n")
+    if data is None:
+        return
+    payload = {
+        "kind": "bench",
+        "title": title,
+        "slug": slug or _slugify(title),
+        "version": repro.__version__,
+        "config": {
+            "requests": _env_int("REPRO_BENCH_REQUESTS",
+                                 DEFAULT_REQUESTS),
+            "warmup": _env_int("REPRO_BENCH_WARMUP", DEFAULT_WARMUP),
+        },
+        "metrics": {name: float(value) for name, value in data.items()},
+    }
+    out = ARTIFACT_LOG.parent / f"BENCH_{payload['slug']}.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

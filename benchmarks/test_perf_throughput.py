@@ -60,7 +60,10 @@ def test_driver_throughput(harness):
             f"{design}: {best:,.0f} req/s is below the sanity floor")
     body = "\n".join(f"{design:>12}: {reqs:12,.0f} req/s"
                      for design, reqs in rows)
-    emit("driver throughput (single-threaded, mcf, best of 3)", body)
+    emit("driver throughput (single-threaded, mcf, best of 3)", body,
+         data={f"req_s_{design.lower().replace('-', '_')}": reqs
+               for design, reqs in rows},
+         slug="driver_throughput")
 
 
 def test_campaign_parallel_identical(harness, tmp_path: Path):
@@ -95,4 +98,7 @@ def test_campaign_parallel_identical(harness, tmp_path: Path):
          f"{'serial':>12}: {serial_s:8.2f} s\n"
          f"{'jobs=2':>12}: {parallel_s:8.2f} s\n"
          f"{'ratio':>12}: {serial_s / parallel_s:8.2f}x "
-         "(hardware-dependent; ~1x on a single-core runner)")
+         "(hardware-dependent; ~1x on a single-core runner)",
+         data={"serial_s": serial_s, "parallel_s": parallel_s,
+               "ratio": serial_s / parallel_s},
+         slug="campaign_wall_time")

@@ -107,7 +107,10 @@ def test_trace_path_throughput(harness, tmp_path: Path):
          f"{'packed, cold cache':>22}: {cold_s:8.3f} s\n"
          f"{'packed, warm cache':>22}: {warm_s:8.3f} s\n"
          f"{'warm speedup':>22}: {speedup:8.2f}x (gate: "
-         f">={MIN_TRACE_PATH_SPEEDUP:.0f}x)")
+         f">={MIN_TRACE_PATH_SPEEDUP:.0f}x)",
+         data={"legacy_s": legacy_s, "cold_s": cold_s,
+               "warm_s": warm_s, "speedup": speedup},
+         slug="trace_path")
     assert speedup >= MIN_TRACE_PATH_SPEEDUP, (
         f"warm trace path only {speedup:.2f}x over legacy generation")
 
@@ -182,7 +185,10 @@ def test_warm_campaign_speedup(harness, tmp_path: Path):
          f"{'speedup':>22}: {speedup:8.2f}x (claim: >=2x on the "
          f"reference container; gate: >={MIN_CAMPAIGN_SPEEDUP}x)\n"
          f"{'trace cache':>22}: {counters['hits']} hit(s)/worker, "
-         f"{counters['bytes_read']:,} B read, 0 generated")
+         f"{counters['bytes_read']:,} B read, 0 generated",
+         data={"pr1_s": pr1_s, "warm_s": warm_s, "prime_s": prime_s,
+               "speedup": speedup},
+         slug="warm_campaign")
     assert speedup >= MIN_CAMPAIGN_SPEEDUP, (
         f"warm campaign only {speedup:.2f}x over the PR 1 pattern")
 
@@ -226,7 +232,10 @@ def test_vectorized_replay_speedup(harness, tmp_path: Path):
          f"{'vector kernel':>22}: {vector_s:8.3f} s "
          f"({driver.last_vector_epochs} epochs)\n"
          f"{'speedup':>22}: {speedup:8.2f}x (claim: >=5x on the "
-         f"reference container; gate: >={MIN_VECTOR_SPEEDUP:.0f}x)")
+         f"reference container; gate: >={MIN_VECTOR_SPEEDUP:.0f}x)",
+         data={"scalar_s": scalar_s, "vector_s": vector_s,
+               "speedup": speedup},
+         slug="vectorized_replay")
     assert speedup >= MIN_VECTOR_SPEEDUP, (
         f"vectorized replay only {speedup:.2f}x over the scalar loop")
 
@@ -286,7 +295,10 @@ def test_fig8_campaign_vector_speedup(harness, tmp_path: Path):
          f"({CAMPAIGN_WORKLOAD}), scalar vs vectorized",
          "\n".join(lines) + "\n"
          f"{'total':>22}: {scalar_s:7.3f} s -> {vector_s:7.3f} s "
-         f"({speedup:5.2f}x, gate: >={MIN_FIG8_CAMPAIGN_SPEEDUP:.0f}x)")
+         f"({speedup:5.2f}x, gate: >={MIN_FIG8_CAMPAIGN_SPEEDUP:.0f}x)",
+         data={"scalar_s": scalar_s, "vector_s": vector_s,
+               "speedup": speedup},
+         slug="fig8_campaign")
     assert speedup >= MIN_FIG8_CAMPAIGN_SPEEDUP, (
         f"vectorized fig8 campaign only {speedup:.2f}x over the scalar "
         f"loop")

@@ -118,12 +118,14 @@ def _record_key(record: dict) -> str:
 
 def _comparison_record(comparison: WorkloadComparison,
                        harness: ExperimentHarness) -> dict:
+    from .. import __version__
     record = dataclasses.asdict(comparison)
     record["config"] = {
         "requests": harness.config.requests,
         "warmup": harness.config.warmup,
         "seed": harness.config.seed,
         "scale": harness.config.scale.factor,
+        "version": __version__,
     }
     return record
 
@@ -167,6 +169,12 @@ class Campaign:
             block (default).  Disable for byte-deterministic files —
             an interrupted-and-resumed campaign then produces exactly
             the bytes of an uninterrupted one.
+        store: Optional :class:`~repro.observatory.RunStore` that every
+            persisted record is additionally ingested into on the fly
+            (idempotent — a later ``repro db ingest`` of the campaign
+            file adds nothing new).
+        store_source: Source label for on-the-fly ingest (``campaign``
+            or ``sweep``).
 
     Attributes:
         quarantined: Cells a supervised run gave up on (skip-and-report;
@@ -176,10 +184,13 @@ class Campaign:
     """
 
     def __init__(self, harness: ExperimentHarness,
-                 path: str | Path, record_timing: bool = True) -> None:
+                 path: str | Path, record_timing: bool = True,
+                 store=None, store_source: str = "campaign") -> None:
         self.harness = harness
         self.path = Path(path)
         self.record_timing = record_timing
+        self.store = store
+        self.store_source = store_source
         self.quarantined: list[QuarantinedCell] = []
         self.recovered_lines = 0
         self._records: dict[str, dict] = {}
@@ -254,6 +265,9 @@ class Campaign:
             key = _cell_key(design, workload)
             self._records[key] = record
             self._append(record, tag=key)
+            if self.store is not None:
+                self.store.add_record(record, source=self.store_source,
+                                      source_path=str(self.path))
             completed += 1
 
         def quarantine(design: "str | DesignSpec", workload: str,
@@ -320,24 +334,63 @@ class Campaign:
                 totals[name] = totals.get(name, 0) + value
         return totals
 
+    @staticmethod
+    def _metric_value(record: dict, metric: str) -> float | None:
+        """The record's scalar value for ``metric``, or None.
+
+        Identity strings, nested blocks (config/timing/spec), and
+        booleans are not metrics.
+        """
+        value = record.get(metric)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
+
+    def available_metrics(self) -> list[str]:
+        """Sorted names of every scalar metric any record carries."""
+        names = {name for record in self._records.values()
+                 for name in record
+                 if self._metric_value(record, name) is not None}
+        return sorted(names)
+
+    def missing_metric_cells(self, metric: str = "norm_ipc") -> int:
+        """Completed cells whose record lacks ``metric`` (mixed-era
+        files, or a typo'd ``--metric``)."""
+        return sum(1 for record in self._records.values()
+                   if self._metric_value(record, metric) is None)
+
     def matrix(self, metric: str = "norm_ipc") -> dict[str, dict[str,
                                                                  float]]:
         """design -> workload -> metric value for completed cells.
 
-        Raises:
-            KeyError: for a metric absent from the records.
+        Cells whose record lacks ``metric`` (or holds a non-scalar
+        there) are skipped rather than raising — a mixed-era campaign
+        file renders the cells it can and reports the rest (see
+        :meth:`missing_metric_cells` and :meth:`available_metrics`).
         """
         out: dict[str, dict[str, float]] = {}
         for record in self._records.values():
+            value = self._metric_value(record, metric)
+            if value is None:
+                continue
             out.setdefault(record["design"], {})[record["workload"]] = \
-                record[metric]
+                value
         return out
 
     def render(self, metric: str = "norm_ipc") -> str:
-        """Text table of the matrix (designs x workloads)."""
+        """Text table of the matrix (designs x workloads).
+
+        Cells missing the metric are skipped and reported in a
+        trailing note; when *no* record carries the metric, the table
+        is replaced by the list of metrics that are available.
+        """
         matrix = self.matrix(metric)
         if not matrix:
-            return "(campaign empty)"
+            if not self._records:
+                return "(campaign empty)"
+            return (f"(no record carries metric {metric!r}; available: "
+                    f"{', '.join(self.available_metrics())})")
+        missing = self.missing_metric_cells(metric)
         workloads = sorted({w for row in matrix.values() for w in row})
         width = max(12, *(len(design) for design in matrix))
         lines = [f"{'design':>{width}} " + " ".join(f"{w[:7]:>7}"
@@ -349,6 +402,9 @@ class Campaign:
                 cells.append(f"{value:7.2f}" if value is not None
                              else f"{'-':>7}")
             lines.append(f"{design:>{width}} " + " ".join(cells))
+        if missing:
+            lines.append(f"({missing} cell(s) skipped: record lacks "
+                         f"metric {metric!r})")
         return "\n".join(lines)
 
 

@@ -218,12 +218,14 @@ def _supervision(args: argparse.Namespace):
         seed=args.seed)
 
 
-def _fill_campaign(args: argparse.Namespace, designs) -> int:
+def _fill_campaign(args: argparse.Namespace, designs,
+                   source: str = "campaign") -> int:
     """Shared fill/resume/report path of ``campaign`` and ``sweep``.
 
     ``designs`` mixes registered names and
     :class:`~repro.designs.DesignSpec` sweep points.  Exit codes: 0
-    complete, 2 bad --resume, 4 quarantined cells, 130 interrupted.
+    complete, 2 bad --resume or a --metric no record carries, 4
+    quarantined cells, 130 interrupted.
     """
     from pathlib import Path
 
@@ -232,8 +234,13 @@ def _fill_campaign(args: argparse.Namespace, designs) -> int:
         print(f"--resume: no campaign file at {args.out}",
               file=sys.stderr)
         return 2
+    store = None
+    if getattr(args, "db", None):
+        from .observatory import RunStore
+        store = RunStore(args.db)
     harness = _harness(args, args.workloads)
-    campaign = Campaign(harness, args.out)
+    campaign = Campaign(harness, args.out, store=store,
+                        store_source=source)
     if campaign.recovered_lines:
         print(f"recovered campaign file: {campaign.recovered_lines} "
               f"damaged line(s) dropped and compacted")
@@ -251,6 +258,12 @@ def _fill_campaign(args: argparse.Namespace, designs) -> int:
         return 130
     print(f"campaign: {campaign.completed_cells} cells complete "
           f"({new_runs} new) -> {args.out}")
+    if store is not None:
+        # Sweep the file too, so cells persisted by earlier runs (a
+        # --resume) land as well; ingest is idempotent, so the cells
+        # recorded on the fly add nothing twice.
+        store.ingest_jsonl(args.out, source=source)
+        print(f"db: {store.run_count} runs in {args.db}")
     timing = campaign.timing_summary()
     if timing["cells"]:
         line = (f"timing: gen {timing['gen_s']:.2f}s + "
@@ -275,6 +288,12 @@ def _fill_campaign(args: argparse.Namespace, designs) -> int:
                     f"{reason} x{count:.0f}"
                     for reason, count in fallbacks.items())
         print(line)
+    if (campaign.completed_cells
+            and args.metric not in campaign.available_metrics()):
+        print(f"--metric {args.metric!r}: no record carries it; "
+              f"available: {', '.join(campaign.available_metrics())}",
+              file=sys.stderr)
+        return 2
     print()
     print(campaign.render(args.metric))
     if campaign.quarantined:
@@ -286,7 +305,7 @@ def _fill_campaign(args: argparse.Namespace, designs) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Fill (or resume) a persisted design x workload result matrix."""
-    return _fill_campaign(args, args.designs)
+    return _fill_campaign(args, args.designs, source="campaign")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -303,7 +322,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"sweep: {args.base} over {axes} = {len(specs)} specs x "
           f"{len(args.workloads)} workloads "
           f"({len(specs) * len(args.workloads)} cells)")
-    return _fill_campaign(args, specs)
+    return _fill_campaign(args, specs, source="sweep")
 
 
 def cmd_designs(args: argparse.Namespace) -> int:
@@ -361,6 +380,115 @@ def cmd_designs(args: argparse.Namespace) -> int:
                 print(f"  {key} = {default!r}")
     else:
         print("parameters: (none declared)")
+    return 0
+
+
+def cmd_db(args: argparse.Namespace) -> int:
+    """Campaign observatory: ingest/query/trend/regress/pin/dashboard.
+
+    Exit codes follow the ``repro validate`` contract where a verdict
+    exists: ``regress`` returns 0 when every compared metric is within
+    tolerance, 1 on any drift or missing pinned cell, 2 on usage
+    errors (bad paths, malformed goldens, unknown metrics).
+    """
+    import json
+    from pathlib import Path
+
+    from .observatory import (RunStore, check_regression, load_golden,
+                              pin_golden, regression_passed,
+                              render_dashboard, render_regress)
+    from .observatory.store import load_jsonl_records
+
+    if args.action == "ingest":
+        store = RunStore(args.db)
+        total_added = total_seen = 0
+        for path in args.paths:
+            try:
+                added, seen = store.ingest_path(path, source=args.source)
+            except (FileNotFoundError, ValueError,
+                    json.JSONDecodeError) as exc:
+                print(f"ingest {path}: {exc}", file=sys.stderr)
+                return 2
+            print(f"ingest {path}: {added} new / {seen} records")
+            total_added += added
+            total_seen += seen
+        print(f"db: {store.run_count} runs in {args.db} "
+              f"(+{total_added} this ingest)")
+        return 0
+
+    if args.action == "query":
+        store = RunStore(args.db)
+        records = store.query(design=args.design,
+                              workload=args.workload,
+                              source=args.source, version=args.version,
+                              limit=args.limit)
+        metric = args.metric
+        print(f"{'design':>24} {'workload':>10} {'version':>8} "
+              f"{'source':>9} {metric:>16}")
+        for record in records:
+            value = record.get(metric)
+            cell = (f"{value:16.4f}"
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool) else f"{'n/a':>16}")
+            print(f"{str(record.get('design')):>24} "
+                  f"{str(record.get('workload')):>10} "
+                  f"{str(record.get('_version') or '-'):>8} "
+                  f"{record['_source']:>9} {cell}")
+        print(f"{len(records)} run(s) matched")
+        return 0
+
+    if args.action == "trend":
+        store = RunStore(args.db)
+        rows = store.trend(args.metric, design=args.design,
+                           workload=args.workload, source=args.source)
+        if not rows:
+            print(f"no runs carry metric {args.metric!r}; known: "
+                  f"{', '.join(store.metric_names()) or '(none)'}",
+                  file=sys.stderr)
+            return 2
+        print(f"{'version':>10} {'mean':>12} {'min':>12} {'max':>12} "
+              f"{'runs':>5}")
+        for row in rows:
+            print(f"{str(row['version'] or '-'):>10} "
+                  f"{row['mean']:12.4f} {row['min']:12.4f} "
+                  f"{row['max']:12.4f} {row['runs']:5d}")
+        from .analysis import sparkline
+        if len(rows) > 1:
+            print(f"trend: {sparkline([row['mean'] for row in rows])}")
+        return 0
+
+    if args.action == "pin":
+        tols = {key: value for key, value in
+                (("abs_tol", args.abs_tol), ("rel_tol", args.rel_tol))
+                if value is not None}
+        try:
+            records = load_jsonl_records(Path(args.campaign))
+            golden = pin_golden(records, **tols)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"pin: {exc}", file=sys.stderr)
+            return 2
+        Path(args.golden).write_text(
+            json.dumps(golden, indent=2, sort_keys=True) + "\n")
+        print(f"pinned {len(golden['cells'])} cells from "
+              f"{args.campaign} -> {args.golden}")
+        return 0
+
+    if args.action == "regress":
+        try:
+            records = load_jsonl_records(Path(args.campaign))
+            golden = load_golden(args.golden)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"regress: {exc}", file=sys.stderr)
+            return 2
+        checks = check_regression(records, golden)
+        print(render_regress(checks))
+        return 0 if regression_passed(checks) else 1
+
+    # dashboard
+    store = RunStore(args.db)
+    html = render_dashboard(store, title=args.title)
+    Path(args.out).write_text(html)
+    print(f"dashboard: {store.run_count} runs -> {args.out}")
     return 0
 
 
@@ -502,6 +630,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--resume", action="store_true",
                           help="require an existing campaign file and "
                                "run only the missing cells")
+    campaign.add_argument("--db", metavar="PATH", default=None,
+                          help="also record every cell into this run "
+                               "database (idempotent; see 'repro db')")
     _add_supervision_args(campaign)
     _add_window_args(campaign)
     _add_scaling_args(campaign)
@@ -525,6 +656,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", action="store_true",
                        help="require an existing sweep file and run "
                             "only the missing cells")
+    sweep.add_argument("--db", metavar="PATH", default=None,
+                       help="also record every cell into this run "
+                            "database (idempotent; see 'repro db')")
     _add_supervision_args(sweep)
     _add_window_args(sweep)
     _add_scaling_args(sweep)
@@ -539,6 +673,72 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="one design's schema, spec JSON, and stable hash")
     show.add_argument("name")
     designs.set_defaults(func=cmd_designs)
+
+    db = sub.add_parser(
+        "db", help="campaign observatory: run store, trends, gating")
+    db_sub = db.add_subparsers(dest="action", required=True)
+
+    db_ingest = db_sub.add_parser(
+        "ingest", help="idempotently ingest campaign/sweep/chaos JSONL "
+                       "and BENCH_*.json artifacts")
+    db_ingest.add_argument("paths", nargs="+", metavar="PATH",
+                           help="files or directories of run artifacts")
+    db_ingest.add_argument("--db", default="runs.db",
+                           help="run database (created on first use)")
+    db_ingest.add_argument("--source", default=None,
+                           choices=("campaign", "sweep", "chaos"),
+                           help="source label for JSONL records "
+                                "(default: campaign; BENCH_*.json "
+                                "always lands as 'bench')")
+
+    db_query = db_sub.add_parser(
+        "query", help="list stored runs matching filters")
+    db_query.add_argument("--db", default="runs.db")
+    db_query.add_argument("--design", default=None)
+    db_query.add_argument("--workload", default=None)
+    db_query.add_argument("--source", default=None)
+    db_query.add_argument("--version", default=None,
+                          help="package version that produced the run")
+    db_query.add_argument("--metric", default="norm_ipc",
+                          help="metric column to print (n/a when a "
+                               "run lacks it)")
+    db_query.add_argument("--limit", type=int, default=None)
+
+    db_trend = db_sub.add_parser(
+        "trend", help="one metric's trajectory across package versions")
+    db_trend.add_argument("--db", default="runs.db")
+    db_trend.add_argument("--metric", required=True)
+    db_trend.add_argument("--design", default=None)
+    db_trend.add_argument("--workload", default=None)
+    db_trend.add_argument("--source", default=None)
+
+    db_pin = db_sub.add_parser(
+        "pin", help="pin a campaign file as a golden snapshot")
+    db_pin.add_argument("campaign", metavar="CAMPAIGN",
+                        help="campaign/sweep JSONL to pin")
+    db_pin.add_argument("--golden", required=True, metavar="OUT",
+                        help="golden snapshot file to write")
+    db_pin.add_argument("--abs-tol", type=float, default=None,
+                        dest="abs_tol",
+                        help="absolute tolerance per metric")
+    db_pin.add_argument("--rel-tol", type=float, default=None,
+                        dest="rel_tol",
+                        help="relative tolerance per metric")
+
+    db_regress = db_sub.add_parser(
+        "regress", help="gate a campaign against a pinned golden; "
+                        "exit 1 on drift")
+    db_regress.add_argument("campaign", metavar="CAMPAIGN",
+                            help="candidate campaign/sweep JSONL")
+    db_regress.add_argument("--golden", required=True,
+                            help="golden snapshot (see 'repro db pin')")
+
+    db_dashboard = db_sub.add_parser(
+        "dashboard", help="render the store as one static HTML file")
+    db_dashboard.add_argument("--db", default="runs.db")
+    db_dashboard.add_argument("--out", default="dashboard.html")
+    db_dashboard.add_argument("--title", default="repro observatory")
+    db.set_defaults(func=cmd_db)
 
     validate = sub.add_parser(
         "validate", help="check every paper shape claim; exit 1 on miss")

@@ -1,0 +1,261 @@
+"""Static HTML dashboard over a :class:`~repro.observatory.RunStore`.
+
+One self-contained file (inline CSS + SVG, no scripts, no external
+assets) so CI can publish it as an artifact and anyone can open it from
+disk: figures 6/7/8-style design x workload matrices for the headline
+metrics, plus per-version trend lines over whatever the store has seen
+— campaign metrics and the ``BENCH_*.json`` perf trajectory alike.
+
+Rendering rules follow the repo-wide plotting discipline (the text
+plots in :mod:`repro.analysis.plotting`) transplanted to HTML: values
+wear ink colors, never series colors; magnitude tints are one hue;
+series hues come from a fixed, colorblind-validated categorical order
+and are never cycled; every matrix doubles as its own table view; a
+cell whose run never recorded the metric renders ``n/a`` (mixed-era
+stores and empty-histogram percentiles must degrade, not lie).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Sequence
+
+from .store import RunStore
+
+#: Headline matrices (the figure 8(a)-(d) metric family), rendered for
+#: whichever of them the store actually holds.
+HEADLINE_METRICS = ("norm_ipc", "norm_hbm_traffic", "norm_dram_traffic",
+                    "norm_energy", "hbm_hit_rate")
+
+#: Fixed categorical series order (validated palette; assign in order,
+#: never cycle — series past the eighth fold into "other").
+_SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
+                 "#008300", "#4a3aa7", "#e34948")
+_SERIES_DARK = ("#3987e5", "#d95926", "#199e70", "#c98500", "#d55181",
+                "#008300", "#9085e9", "#e66767")
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --heat: 42,120,214;            /* sequential blue (magnitude) */
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --heat: 57,135,229;
+  }
+}
+body { background: var(--page); color: var(--ink); margin: 2rem auto;
+       max-width: 72rem; padding: 0 1rem;
+       font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+p.meta { color: var(--ink-2); }
+section { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 1rem 1.25rem; margin: 1rem 0; }
+table { border-collapse: collapse; font-variant-numeric: tabular-nums; }
+th, td { padding: 0.25rem 0.6rem; text-align: right;
+         border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 600; }
+th.rowhead, td.rowhead { text-align: left; }
+td.na { color: var(--muted); }
+svg text { font: 12px system-ui, -apple-system, "Segoe UI", sans-serif;
+           fill: var(--ink-2); }
+.legend { display: flex; gap: 1rem; flex-wrap: wrap; margin: 0.5rem 0;
+          color: var(--ink-2); }
+.legend span.swatch { display: inline-block; width: 10px; height: 10px;
+                      border-radius: 2px; margin-right: 0.35rem; }
+.swatch { vertical-align: baseline; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _heat_style(value: float, lo: float, hi: float) -> str:
+    """One-hue magnitude tint (alpha-scaled sequential blue)."""
+    span = (hi - lo) or 1.0
+    norm = min(1.0, max(0.0, (value - lo) / span))
+    return f"background: rgba(var(--heat), {0.08 + 0.42 * norm:.3f})"
+
+
+def _matrix_section(store: RunStore, metric: str) -> str:
+    matrix = store.matrix(metric)
+    if not matrix:
+        return ""
+    workloads = sorted({workload for row in matrix.values()
+                        for workload in row})
+    values = [value for row in matrix.values() for value in row.values()]
+    lo, hi = min(values), max(values)
+    head = "".join(f"<th>{_esc(w)}</th>" for w in workloads)
+    body = []
+    for design in sorted(matrix):
+        cells = [f'<td class="rowhead">{_esc(design)}</td>']
+        for workload in workloads:
+            value = matrix[design].get(workload)
+            if value is None:
+                cells.append('<td class="na">n/a</td>')
+            else:
+                cells.append(
+                    f'<td style="{_heat_style(value, lo, hi)}" '
+                    f'title="{_esc(design)} / {_esc(workload)}: '
+                    f'{value:.4g}">{value:.3f}</td>')
+        body.append("<tr>" + "".join(cells) + "</tr>")
+    return (f"<section><h2>{_esc(metric)}</h2>"
+            f"<p class=\"meta\">design &times; workload "
+            f"({len(matrix)} designs, {len(workloads)} workloads; "
+            f"range {lo:.3g}&ndash;{hi:.3g})</p>"
+            f'<table><tr><th class="rowhead">design</th>{head}</tr>'
+            + "".join(body) + "</table></section>")
+
+
+def _trend_svg(series: dict[str, list[tuple[str, float]]],
+               versions: Sequence[str]) -> str:
+    """Inline SVG trend lines: one polyline per series over versions."""
+    width, height, pad = 640, 220, 44
+    values = [value for points in series.values()
+              for _, value in points]
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    lo, hi = lo - 0.05 * (hi - lo), hi + 0.05 * (hi - lo)
+
+    def x_at(index: int) -> float:
+        span = max(1, len(versions) - 1)
+        return pad + (width - 2 * pad) * index / span
+
+    def y_at(value: float) -> float:
+        return height - pad - (height - 2 * pad) * (value - lo) / (hi - lo)
+
+    index_of = {version: i for i, version in enumerate(versions)}
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'width="{width}" height="{height}">']
+    parts.append(f'<line x1="{pad}" y1="{height - pad}" '
+                 f'x2="{width - pad}" y2="{height - pad}" '
+                 f'stroke="var(--axis)" stroke-width="1"/>')
+    for tick in (lo + (hi - lo) * f for f in (0.0, 0.5, 1.0)):
+        y = y_at(tick)
+        parts.append(f'<line x1="{pad}" y1="{y:.1f}" x2="{width - pad}" '
+                     f'y2="{y:.1f}" stroke="var(--grid)" '
+                     f'stroke-width="1"/>')
+        parts.append(f'<text x="{pad - 6}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{tick:.3g}</text>')
+    for version in versions:
+        x = x_at(index_of[version])
+        parts.append(f'<text x="{x:.1f}" y="{height - pad + 16}" '
+                     f'text-anchor="middle">{_esc(version)}</text>')
+    for slot, name in enumerate(sorted(series)):
+        light = _SERIES_LIGHT[slot % len(_SERIES_LIGHT)]
+        points = [(index_of[version], value)
+                  for version, value in series[name]
+                  if version in index_of]
+        points.sort()
+        coords = " ".join(f"{x_at(i):.1f},{y_at(v):.1f}"
+                          for i, v in points)
+        parts.append(f'<polyline points="{coords}" fill="none" '
+                     f'stroke="{light}" stroke-width="2"/>')
+        for i, value in points:
+            parts.append(
+                f'<circle cx="{x_at(i):.1f}" cy="{y_at(value):.1f}" '
+                f'r="4" fill="{light}" stroke="var(--surface-1)" '
+                f'stroke-width="2"><title>{_esc(name)} @ '
+                f'{_esc(versions[i])}: {value:.6g}</title></circle>')
+        if points:
+            i, value = points[-1]
+            parts.append(f'<text x="{x_at(i) + 8:.1f}" '
+                         f'y="{y_at(value) + 4:.1f}">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _trend_section(store: RunStore, metric: str) -> str:
+    """One metric's per-version trajectory: chart + its table view."""
+    versions = store.versions()
+    if len(versions) < 1:
+        return ""
+    designs = sorted({record.get("design") or "(all)"
+                      for record in store.query()
+                      if metric in record
+                      or metric in (record.get("metrics") or {})})
+    series: dict[str, list[tuple[str, float]]] = {}
+    overall = store.trend(metric)
+    for design in designs[:8]:      # fixed palette order, never cycled
+        rows = store.trend(metric, design=design)
+        points = [(row["version"], row["mean"]) for row in rows
+                  if row["version"]]
+        if points:
+            series[design] = points
+    if not series:
+        points = [(row["version"], row["mean"]) for row in overall
+                  if row["version"]]
+        if points:
+            series = {"(all runs)": points}
+    if not series:
+        return ""
+    legend = "".join(
+        f'<span><span class="swatch" style="background:'
+        f'{_SERIES_LIGHT[slot % len(_SERIES_LIGHT)]}"></span>'
+        f"{_esc(name)}</span>"
+        for slot, name in enumerate(sorted(series)))
+    legend_html = (f'<div class="legend">{legend}</div>'
+                   if len(series) > 1 else "")
+    table_rows = []
+    for name in sorted(series):
+        for version, value in series[name]:
+            table_rows.append(
+                f'<tr><td class="rowhead">{_esc(name)}</td>'
+                f"<td>{_esc(version)}</td><td>{value:.6g}</td></tr>")
+    return (f"<section><h2>trend: {_esc(metric)}</h2>"
+            + legend_html
+            + _trend_svg(series, versions)
+            + '<details><summary>table view</summary><table>'
+              '<tr><th class="rowhead">series</th><th>version</th>'
+              "<th>mean</th></tr>" + "".join(table_rows)
+            + "</table></details></section>")
+
+
+def render_dashboard(store: RunStore, title: str = "repro observatory",
+                     trend_metrics: Sequence[str] | None = None) -> str:
+    """The complete dashboard HTML for one run store.
+
+    Args:
+        store: The run database to render.
+        trend_metrics: Metrics to draw trend lines for (default: the
+            headline metrics present plus every bench-artifact metric).
+    """
+    from .. import __version__
+    counts = store.counts_by_source()
+    known = set(store.metric_names())
+    matrices = [name for name in HEADLINE_METRICS if name in known]
+    if trend_metrics is None:
+        bench = sorted(
+            {name for record in store.query(source="bench")
+             for name in record
+             if isinstance(record[name], (int, float))
+             and not isinstance(record[name], bool)
+             and not name.startswith("_")})
+        trend_metrics = [name for name in matrices] + bench
+    counts_line = ", ".join(f"{source}: {count}"
+                            for source, count in counts.items()) or "empty"
+    sections = [
+        _matrix_section(store, metric) for metric in matrices
+    ] + [
+        _trend_section(store, metric) for metric in trend_metrics
+    ]
+    return (
+        "<!doctype html><html><head><meta charset=\"utf-8\">"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        f"<p class=\"meta\">{store.run_count} runs ({counts_line}); "
+        f"versions: {', '.join(store.versions()) or 'n/a'}; rendered by "
+        f"repro {__version__}</p>"
+        + "".join(section for section in sections if section)
+        + "</body></html>")

@@ -1,0 +1,198 @@
+"""Regression gating: a fresh campaign against pinned golden runs.
+
+A golden file pins the metric values of a known-good campaign together
+with per-metric tolerances.  :func:`check_regression` replays the
+comparison cell by cell, metric by metric, and renders a
+``[PASS]/[FAIL]/[SKIP]`` report with the same exit-code contract as
+``repro validate``: 0 when every compared metric is within tolerance, 1
+on any drift or missing cell, 2 on usage errors (handled by the CLI).
+
+The golden itself always passes its own check (tolerances compare a
+value against itself), and any injected drift beyond ``max(abs_tol,
+rel_tol * |golden|)`` fails — the CI contract the observatory job
+enforces on the designs-job micro-sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .store import scalar_metrics
+
+#: Default absolute tolerance — effectively "bit-identical or bust"
+#: headroom for float formatting, since campaigns are deterministic.
+DEFAULT_ABS_TOL = 1e-9
+
+#: Default relative tolerance; loose enough to absorb cross-platform
+#: libm differences, tight enough that any real metric drift fails.
+DEFAULT_REL_TOL = 1e-6
+
+#: Config fields that must match between golden and candidate — a
+#: different window or seed is a different experiment, not a drift.
+_CONFIG_IDENTITY = ("requests", "warmup", "seed", "scale")
+
+
+def _record_cell_key(record: Mapping[str, Any]) -> str:
+    """The campaign resume key of a record (spec-aware)."""
+    from ..analysis.campaign import _record_key
+    return _record_key(dict(record))
+
+
+@dataclass(frozen=True)
+class RegressCheck:
+    """One golden-vs-candidate comparison (a cell metric, or a cell)."""
+
+    cell: str
+    metric: str
+    passed: bool
+    measured: str
+    skipped: bool = False
+
+    def render(self) -> str:
+        status = ("SKIP" if self.skipped
+                  else "PASS" if self.passed else "FAIL")
+        return f"[{status}] {self.cell} {self.metric}: {self.measured}"
+
+
+def pin_golden(records: Sequence[Mapping[str, Any]],
+               abs_tol: float = DEFAULT_ABS_TOL,
+               rel_tol: float = DEFAULT_REL_TOL,
+               per_metric: Mapping[str, Mapping[str, float]] | None = None,
+               ) -> dict:
+    """Build a golden snapshot from campaign records.
+
+    Args:
+        records: Campaign/sweep records (as loaded from JSONL).
+        abs_tol / rel_tol: Default tolerances for every metric; a
+            candidate value passes when ``|new - golden| <=
+            max(abs_tol, rel_tol * |golden|)``.
+        per_metric: Optional ``{metric: {"abs": ..., "rel": ...}}``
+            overrides.
+
+    Raises:
+        ValueError: when ``records`` is empty (an empty golden gates
+            nothing and is always a mistake).
+    """
+    if not records:
+        raise ValueError("cannot pin a golden from zero records")
+    from .. import __version__
+    config = dict(records[0].get("config") or {})
+    cells = []
+    for record in records:
+        cells.append({
+            "key": _record_cell_key(record),
+            "design": record.get("design"),
+            "workload": record.get("workload"),
+            "metrics": scalar_metrics(record),
+        })
+    cells.sort(key=lambda cell: cell["key"])
+    return {
+        "kind": "repro-golden",
+        "pinned_with": __version__,
+        "config": {field: config.get(field)
+                   for field in _CONFIG_IDENTITY},
+        "tolerances": {"abs": abs_tol, "rel": rel_tol,
+                       "per_metric": dict(per_metric or {})},
+        "cells": cells,
+    }
+
+
+def load_golden(path: str | Path) -> dict:
+    """Read and sanity-check a golden file.
+
+    Raises:
+        ValueError: when the file is not a ``repro-golden`` snapshot.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload.get("kind") != "repro-golden" or "cells" not in payload:
+        raise ValueError(f"{path} is not a repro golden snapshot "
+                         f"(expected kind 'repro-golden')")
+    return payload
+
+
+def _tolerances(golden: Mapping[str, Any],
+                metric: str) -> tuple[float, float]:
+    tols = golden.get("tolerances") or {}
+    override = (tols.get("per_metric") or {}).get(metric) or {}
+    return (float(override.get("abs", tols.get("abs", DEFAULT_ABS_TOL))),
+            float(override.get("rel", tols.get("rel", DEFAULT_REL_TOL))))
+
+
+def check_regression(records: Sequence[Mapping[str, Any]],
+                     golden: Mapping[str, Any]) -> list[RegressCheck]:
+    """Compare candidate records against a golden snapshot.
+
+    One check per pinned metric per pinned cell, plus config-identity
+    guards and a ``SKIP`` note for candidate cells the golden does not
+    pin (new designs/workloads are not regressions).
+
+    A pinned cell absent from the candidate, or a pinned metric absent
+    from a candidate record, FAILS — the gate exists to notice silently
+    vanishing coverage as much as drifting values.
+    """
+    checks: list[RegressCheck] = []
+    by_key = {_record_cell_key(record): record for record in records}
+
+    golden_config = golden.get("config") or {}
+    candidate_config = (records[0].get("config") or {}) if records else {}
+    for field in _CONFIG_IDENTITY:
+        pinned = golden_config.get(field)
+        if pinned is None:
+            continue
+        measured = candidate_config.get(field)
+        checks.append(RegressCheck(
+            "config", field, passed=(measured == pinned),
+            measured=(f"{measured}" if measured == pinned
+                      else f"{measured} vs pinned {pinned} — different "
+                           f"experiment, re-pin the golden")))
+
+    for cell in golden.get("cells", []):
+        key = cell["key"]
+        record = by_key.get(key)
+        if record is None:
+            checks.append(RegressCheck(
+                key, "(cell)", passed=False,
+                measured="pinned cell missing from campaign"))
+            continue
+        measured_metrics = scalar_metrics(record)
+        for metric, pinned_value in sorted(cell["metrics"].items()):
+            if metric not in measured_metrics:
+                checks.append(RegressCheck(
+                    key, metric, passed=False,
+                    measured="metric missing from candidate record"))
+                continue
+            value = measured_metrics[metric]
+            abs_tol, rel_tol = _tolerances(golden, metric)
+            budget = max(abs_tol, rel_tol * abs(pinned_value))
+            delta = abs(value - pinned_value)
+            checks.append(RegressCheck(
+                key, metric, passed=(delta <= budget),
+                measured=f"{value:.6g} vs golden {pinned_value:.6g} "
+                         f"(|d|={delta:.3g}, tol={budget:.3g})"))
+
+    pinned_keys = {cell["key"] for cell in golden.get("cells", [])}
+    for key in sorted(by_key.keys() - pinned_keys):
+        checks.append(RegressCheck(
+            key, "(cell)", passed=False, skipped=True,
+            measured="cell not pinned by golden (ignored)"))
+    return checks
+
+
+def render_regress(checks: Sequence[RegressCheck]) -> str:
+    """The report: one line per check plus a verdict summary line."""
+    failed = sum(1 for check in checks
+                 if not check.passed and not check.skipped)
+    passed = sum(1 for check in checks if check.passed)
+    skipped = sum(1 for check in checks if check.skipped)
+    lines = [check.render() for check in checks]
+    lines.append(f"regression check: {passed} pass, {failed} fail, "
+                 f"{skipped} skip")
+    return "\n".join(lines)
+
+
+def regression_passed(checks: Sequence[RegressCheck]) -> bool:
+    """True when no non-skipped check failed."""
+    return all(check.passed or check.skipped for check in checks)

@@ -89,8 +89,9 @@ class SimResult:
         bucket bound of the bucket containing the percentile).
 
         Raises:
-            ValueError: when no histogram was collected or the
-                percentile is outside (0, 100].
+            ValueError: when no histogram was collected, the histogram
+                is empty (zero measured requests), or the percentile is
+                outside (0, 100].
         """
         if self.latency_histogram is None:
             raise ValueError("run() did not collect a latency histogram")

@@ -157,10 +157,16 @@ class Histogram:
         instead of an O(buckets) scan).
 
         Raises:
-            ValueError: when ``percentile`` is outside (0, 100].
+            ValueError: when ``percentile`` is outside (0, 100], or
+                when the histogram holds no samples — with zero total
+                the target count is 0, ``bisect_left`` lands on bucket
+                0, and the result would silently read as "p99 =
+                ``bounds[0]``" for a run that never recorded anything.
         """
         if not 0.0 < percentile <= 100.0:
             raise ValueError("percentile must be in (0, 100]")
+        if self.total == 0:
+            raise ValueError("percentile of empty histogram")
         cumulative = self._cumulative
         if cumulative is None:
             cumulative = self._cumulative = list(accumulate(self.counts))

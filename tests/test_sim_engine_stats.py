@@ -194,6 +194,16 @@ class TestHistogramPercentile:
             with pytest.raises(ValueError):
                 hist.percentile(bad)
 
+    def test_empty_histogram_raises(self):
+        # Regression: an empty histogram used to silently return
+        # bounds[0] (cumulative 0 >= target 0 on the first bucket),
+        # reporting a fabricated latency for a run with zero samples.
+        hist = Histogram(bounds=[10.0, 20.0])
+        with pytest.raises(ValueError, match="empty histogram"):
+            hist.percentile(50.0)
+        hist.add(5)
+        assert hist.percentile(50.0) == 10.0
+
     def test_cache_invalidated_by_merge(self):
         # Regression: the cumulative cache used a total-based staleness
         # guard; a mutation path that bypassed it served percentiles
