@@ -217,6 +217,49 @@ class Campaign:
     def has(self, design: "str | DesignSpec", workload: str) -> bool:
         return _cell_key(design, workload) in self._records
 
+    def persist_comparison(self, design: "str | DesignSpec",
+                           workload: str,
+                           comparison: WorkloadComparison,
+                           timing: dict | None = None) -> bool:
+        """Persist one completed cell (append + optional store ingest).
+
+        The merge-on-arrival primitive shared by :meth:`run` and the
+        fabric coordinator: builds the record (attaching the spec dump
+        for :class:`~repro.designs.DesignSpec` cells and the ``timing``
+        block when enabled), appends it through the checkpoint writer,
+        and mirrors it into the attached RunStore.
+
+        Args:
+            design: The cell's design (name or spec).
+            workload: The cell's workload.
+            comparison: The computed result.
+            timing: Timing block measured where the cell actually ran
+                (a fabric worker); when None and ``record_timing`` is
+                set, the harness's own counters are consulted instead.
+
+        Returns:
+            True when the record was new and persisted; False when the
+            cell was already present (duplicate completion — the file
+            is left untouched, which is what keeps duplicates
+            idempotent).
+        """
+        key = _cell_key(design, workload)
+        if key in self._records:
+            return False
+        record = _comparison_record(comparison, self.harness)
+        if isinstance(design, DesignSpec):
+            record["spec"] = design.to_dict()
+        if self.record_timing:
+            record["timing"] = (timing if timing is not None
+                                else self.harness.cell_timing(design,
+                                                              workload))
+        self._records[key] = record
+        self._append(record, tag=key)
+        if self.store is not None:
+            self.store.add_record(record, source=self.store_source,
+                                  source_path=str(self.path))
+        return True
+
     def run(self, designs: "Sequence[str | DesignSpec]",
             workloads: Sequence[str],
             jobs: int | None = 1, supervise=None) -> int:
@@ -256,19 +299,8 @@ class Campaign:
         def persist(design: "str | DesignSpec", workload: str,
                     comparison: WorkloadComparison) -> None:
             nonlocal completed
-            record = _comparison_record(comparison, self.harness)
-            if isinstance(design, DesignSpec):
-                record["spec"] = design.to_dict()
-            if self.record_timing:
-                record["timing"] = self.harness.cell_timing(design,
-                                                            workload)
-            key = _cell_key(design, workload)
-            self._records[key] = record
-            self._append(record, tag=key)
-            if self.store is not None:
-                self.store.add_record(record, source=self.store_source,
-                                      source_path=str(self.path))
-            completed += 1
+            if self.persist_comparison(design, workload, comparison):
+                completed += 1
 
         def quarantine(design: "str | DesignSpec", workload: str,
                        failure) -> None:

@@ -89,25 +89,41 @@ class ResultCache:
 
     # ---- lookup / store -------------------------------------------------
 
+    def _read_entry(self, path: Path) -> Any:
+        """Read and validate one entry; raises on any damage."""
+        wrapped = json.loads(path.read_text())
+        record = wrapped["record"]
+        digest = hashlib.sha256(
+            _canonical(record).encode("utf-8")).hexdigest()
+        if digest != wrapped["digest"]:
+            raise ValueError("record digest mismatch")
+        return record
+
     def get(self, key: str) -> Any | None:
         """The record stored under ``key``, or None.
 
-        A malformed file or a record whose embedded digest does not match
-        (corruption, manual edits) is deleted and reported as a miss, so
-        the caller recomputes and overwrites it.
+        Damage never surfaces as an error.  A validation failure
+        (malformed bytes, digest mismatch, torn or empty file) is
+        retried once first: with many fleet workers sharing one store,
+        the failed read may have observed a concurrent ``put`` whose
+        final rename had not landed yet, and the retry finds the
+        completed entry instead of destroying it.  Only a failure that
+        persists across both reads — genuine corruption, manual edits —
+        deletes the entry and reports a miss, so the caller recomputes
+        and overwrites it.
         """
         path = self._path(key)
-        try:
-            wrapped = json.loads(path.read_text())
-            record = wrapped["record"]
-            digest = hashlib.sha256(
-                _canonical(record).encode("utf-8")).hexdigest()
-            if digest != wrapped["digest"]:
-                raise ValueError("record digest mismatch")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
+        record = _MISSING = object()
+        for _ in range(2):
+            try:
+                record = self._read_entry(path)
+                break
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (ValueError, KeyError, TypeError, OSError):
+                record = _MISSING
+        if record is _MISSING:
             # Poisoned entry: drop it so the recompute can heal the cache.
             try:
                 path.unlink()

@@ -13,6 +13,8 @@ Usage (also via ``python -m repro``)::
     repro designs show Bumblebee
     repro sweep --grid chbm_ratio=0,0.25,0.5,0.75,1.0 \\
                 --grid allocation=dram,hbm,adaptive --jobs 4
+    repro fabric serve --out fleet.jsonl --once
+    repro fabric work http://127.0.0.1:8734
 
 Every subcommand prints paper-style text tables; numeric knobs mirror
 :class:`~repro.analysis.experiments.ExperimentConfig`.
@@ -239,8 +241,10 @@ def _fill_campaign(args: argparse.Namespace, designs,
         from .observatory import RunStore
         store = RunStore(args.db)
     harness = _harness(args, args.workloads)
-    campaign = Campaign(harness, args.out, store=store,
-                        store_source=source)
+    campaign = Campaign(harness, args.out,
+                        record_timing=not getattr(args, "no_timing",
+                                                  False),
+                        store=store, store_source=source)
     if campaign.recovered_lines:
         print(f"recovered campaign file: {campaign.recovered_lines} "
               f"damaged line(s) dropped and compacted")
@@ -305,7 +309,153 @@ def _fill_campaign(args: argparse.Namespace, designs,
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Fill (or resume) a persisted design x workload result matrix."""
+    if getattr(args, "fabric", None):
+        return _fabric_campaign(args)
     return _fill_campaign(args, args.designs, source="campaign")
+
+
+def _fabric_campaign(args: argparse.Namespace) -> int:
+    """``campaign --fabric URL``: join a fleet instead of running
+    locally, then mirror the coordinator's campaign file and render it.
+    """
+    import os
+    from pathlib import Path
+
+    from .analysis import Campaign
+    from .fabric import FabricClient, FabricUnreachable, run_worker
+    try:
+        completed = run_worker(
+            args.fabric, progress=lambda line: print(line, flush=True))
+        client = FabricClient(args.fabric, f"campaign-cli-{os.getpid()}")
+        status, data = client.request("GET", "/file")
+        state = client.call("GET", "/status")
+    except FabricUnreachable as exc:
+        print(exc, file=sys.stderr)
+        return 3
+    except RuntimeError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if status != 200 or state is None:
+        print(f"--fabric: coordinator at {args.fabric} would not serve "
+              f"its campaign file (HTTP {status})", file=sys.stderr)
+        return 2
+    Path(args.out).write_bytes(data)
+    print(f"campaign: fabric fleet at {args.fabric}; this worker "
+          f"completed {completed} cell(s); mirrored "
+          f"{state['emitted']}/{state['cells']} cells -> {args.out}")
+    harness = _harness(args, args.workloads)
+    campaign = Campaign(harness, args.out,
+                        record_timing=not getattr(args, "no_timing",
+                                                  False))
+    print()
+    print(campaign.render(args.metric))
+    quarantined = state.get("quarantined") or []
+    if quarantined:
+        print()
+        for cell in quarantined:
+            print(f"[SKIP] {cell['design']}::{cell['workload']}: "
+                  f"{'; '.join(cell['attempts'])}")
+        return 4
+    return 0
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    """Dispatch ``repro fabric serve`` / ``repro fabric work``."""
+    if args.action == "serve":
+        return _cmd_fabric_serve(args)
+    return _cmd_fabric_work(args)
+
+
+def _cmd_fabric_serve(args: argparse.Namespace) -> int:
+    """Lease a campaign's cells to fabric workers over HTTP."""
+    import json
+    from pathlib import Path
+
+    from .analysis import Campaign
+    from .fabric import FabricCoordinator, FabricPolicy, LocalDirBackend
+    from .resilience import faults
+    designs = args.designs
+    if args.grid:
+        tokens = [token for group in args.grid for token in group]
+        try:
+            grid = parse_grid(tokens)
+            designs = registry.expand_grid(args.base, grid)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    if args.resume and not Path(args.out).exists():
+        print(f"--resume: no campaign file at {args.out}",
+              file=sys.stderr)
+        return 2
+    store = None
+    if args.db:
+        from .observatory import RunStore
+        store = RunStore(args.db)
+    harness = _harness(args, args.workloads)
+    campaign = Campaign(harness, args.out,
+                        record_timing=not args.no_timing,
+                        store=store, store_source="campaign")
+    if campaign.recovered_lines:
+        print(f"recovered campaign file: {campaign.recovered_lines} "
+              f"damaged line(s) dropped and compacted")
+    if args.resume:
+        print(f"resuming: {campaign.completed_cells} cells already "
+              f"complete in {args.out}")
+    result_backend = trace_backend = None
+    if harness.cache is not None:
+        result_backend = LocalDirBackend(harness.cache.root, ".json")
+    if harness.trace_cache is not None:
+        trace_backend = LocalDirBackend(harness.trace_cache.root,
+                                        ".trace")
+    policy = FabricPolicy(lease_s=args.lease,
+                          max_attempts=args.retries + 1,
+                          quarantine_workers=args.quarantine_workers,
+                          seed=args.seed)
+    coordinator = FabricCoordinator(campaign, designs, args.workloads,
+                                    policy=policy,
+                                    result_backend=result_backend,
+                                    trace_backend=trace_backend)
+    try:
+        coordinator.serve(host=args.host, port=args.port,
+                          once=args.once, linger_s=args.linger)
+    except KeyboardInterrupt:
+        print("\ninterrupted: clean prefix persisted; restart with "
+              "--resume to continue", file=sys.stderr)
+    print(coordinator.summary(), flush=True)
+    injector = faults.active()
+    if injector is not None and any(injector.counters.values()):
+        print("fabric: faults " + json.dumps(injector.counters),
+              flush=True)
+    if store is not None:
+        store.ingest_jsonl(args.out, source="campaign")
+        print(f"db: {store.run_count} runs in {args.db}")
+    if campaign.completed_cells:
+        print()
+        print(campaign.render(args.metric))
+    if campaign.quarantined:
+        print()
+        print(campaign.render_quarantine())
+        return 4
+    return 0
+
+
+def _cmd_fabric_work(args: argparse.Namespace) -> int:
+    """Run cells leased by a fabric coordinator until it is done."""
+    from .fabric import FabricUnreachable, run_worker
+    try:
+        completed = run_worker(
+            args.url, worker_id=args.worker_id,
+            max_cells=args.max_cells, local_caches=args.local_caches,
+            progress=(lambda line: print(line, flush=True))
+            if args.verbose else None)
+    except FabricUnreachable as exc:
+        print(exc, file=sys.stderr)
+        return 3
+    except RuntimeError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(f"worker: completed {completed} cell(s)")
+    return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -633,6 +783,16 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--db", metavar="PATH", default=None,
                           help="also record every cell into this run "
                                "database (idempotent; see 'repro db')")
+    campaign.add_argument("--fabric", metavar="URL", default=None,
+                          help="join a fabric fleet at URL instead of "
+                               "running locally: work leased cells, "
+                               "then mirror the coordinator's campaign "
+                               "file to --out (see 'repro fabric')")
+    campaign.add_argument("--no-timing", action="store_true",
+                          dest="no_timing",
+                          help="omit per-cell timing from records, "
+                               "making the campaign file byte-"
+                               "deterministic")
     _add_supervision_args(campaign)
     _add_window_args(campaign)
     _add_scaling_args(campaign)
@@ -659,6 +819,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--db", metavar="PATH", default=None,
                        help="also record every cell into this run "
                             "database (idempotent; see 'repro db')")
+    sweep.add_argument("--no-timing", action="store_true",
+                       dest="no_timing",
+                       help="omit per-cell timing from records, making "
+                            "the sweep file byte-deterministic")
     _add_supervision_args(sweep)
     _add_window_args(sweep)
     _add_scaling_args(sweep)
@@ -788,6 +952,85 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--verbose", action="store_true",
                        help="print one line per scenario as it completes")
     chaos.set_defaults(func=cmd_chaos)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="distributed campaigns: lease cells to worker fleets")
+    fabric_sub = fabric.add_subparsers(dest="action", required=True)
+
+    serve = fabric_sub.add_parser(
+        "serve", help="coordinate: lease campaign cells over HTTP and "
+                      "merge results into one campaign file")
+    serve.add_argument("--out", default="fabric.jsonl")
+    serve.add_argument("--designs", nargs="+",
+                       default=list(FIGURE8_DESIGNS))
+    serve.add_argument("--base", default="Bumblebee",
+                       help="base design for --grid sweep points")
+    serve.add_argument("--grid", action="append", nargs="+",
+                       default=None, metavar="KEY=V1,V2,...",
+                       help="sweep axis (repeatable); when given, the "
+                            "expanded grid replaces --designs")
+    serve.add_argument("--workloads", nargs="+",
+                       default=["mcf", "wrf", "xz", "roms"])
+    serve.add_argument("--metric", default="norm_ipc")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral, announced on "
+                            "stdout)")
+    serve.add_argument("--lease", type=float, default=30.0, metavar="S",
+                       help="lease length; a cell whose worker stops "
+                            "heartbeating this long is reclaimed and "
+                            "re-issued")
+    serve.add_argument("--retries", type=int, default=3, metavar="N",
+                       help="failures per cell before quarantine")
+    serve.add_argument("--quarantine-workers", type=int, default=2,
+                       dest="quarantine_workers", metavar="N",
+                       help="distinct failing workers that quarantine "
+                            "a cell fleet-wide")
+    serve.add_argument("--once", action="store_true",
+                       help="exit once every cell is resolved (after "
+                            "--linger seconds for stragglers)")
+    serve.add_argument("--linger", type=float, default=2.0, metavar="S",
+                       help="with --once, how long to keep serving "
+                            "after the last cell resolves")
+    serve.add_argument("--resume", action="store_true",
+                       help="require an existing campaign file and "
+                            "serve only the missing cells")
+    serve.add_argument("--db", metavar="PATH", default=None,
+                       help="also record every cell into this run "
+                            "database (idempotent; see 'repro db')")
+    serve.add_argument("--no-timing", action="store_true",
+                       dest="no_timing",
+                       help="omit per-cell timing from records, making "
+                            "the campaign file byte-deterministic")
+    serve.add_argument("--cache", metavar="DIR", nargs="?", const="",
+                       default=None,
+                       help="serve a shared result cache to the fleet "
+                            "from this directory")
+    serve.add_argument("--trace-cache", metavar="DIR", nargs="?",
+                       const="", default=None, dest="trace_cache",
+                       help="serve a shared packed-trace cache to the "
+                            "fleet from this directory")
+    _add_window_args(serve)
+    serve.set_defaults(func=cmd_fabric)
+
+    work = fabric_sub.add_parser(
+        "work", help="run cells leased by a fabric coordinator")
+    work.add_argument("url", metavar="URL",
+                      help="coordinator base URL (http://host:port)")
+    work.add_argument("--worker-id", default=None, dest="worker_id",
+                      help="identity for leases and fault matching "
+                           "(default: <hostname>-<pid>)")
+    work.add_argument("--max-cells", type=int, default=None,
+                      dest="max_cells",
+                      help="stop after completing this many cells")
+    work.add_argument("--local-caches", action="store_true",
+                      dest="local_caches",
+                      help="keep local caches instead of the "
+                           "coordinator's shared HTTP caches")
+    work.add_argument("--verbose", action="store_true",
+                      help="print one line per leased cell")
+    work.set_defaults(func=cmd_fabric)
 
     mix = sub.add_parser("mix", help="run a multi-programmed mix")
     mix.add_argument("--preset", default="mix-fig1",

@@ -1,0 +1,51 @@
+"""Fault-tolerant distributed campaign fabric.
+
+A coordinator/worker split for scaling campaigns beyond one machine
+with robustness as the design center: an asyncio HTTP coordinator
+(:mod:`~repro.fabric.coordinator`) leases ``DesignSpec x workload``
+cells to thin worker clients (:mod:`~repro.fabric.worker`), reclaims
+leases whose heartbeats stop, re-issues them with the supervisor's
+deterministic backoff, quarantines cells that fail on N distinct
+workers, and merges completions on arrival into the same fsync'd
+clean-prefix campaign JSONL that ``repro campaign --resume`` and the
+observatory RunStore already understand.
+
+The lease bookkeeping itself lives in :mod:`~repro.fabric.state` as a
+pure, I/O-free table so its determinism (same seed -> same re-lease
+ordering, across coordinator restarts) is directly testable.  Workers
+share the content-addressed result/trace caches through the pluggable
+backends in :mod:`~repro.fabric.cachebackend` (a local directory, or
+the coordinator's HTTP cache endpoints).
+
+Fleet chaos scenarios live in :mod:`repro.fabric.chaos` — deliberately
+NOT imported here, so importing the fabric never drags in the chaos
+harness (and the resilience chaos module can lazily merge the fleet
+scenario table without an import cycle).
+"""
+
+from .cachebackend import (
+    BackendResultCache,
+    BackendTraceCache,
+    HTTPCacheBackend,
+    LocalDirBackend,
+)
+from .coordinator import CoordinatorThread, FabricCoordinator, wire_cell
+from .state import CellState, FabricPolicy, FabricState, Lease
+from .worker import FabricClient, FabricUnreachable, run_worker
+
+__all__ = [
+    "BackendResultCache",
+    "BackendTraceCache",
+    "CellState",
+    "CoordinatorThread",
+    "FabricClient",
+    "FabricCoordinator",
+    "FabricPolicy",
+    "FabricState",
+    "FabricUnreachable",
+    "HTTPCacheBackend",
+    "Lease",
+    "LocalDirBackend",
+    "run_worker",
+    "wire_cell",
+]

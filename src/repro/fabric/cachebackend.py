@@ -1,0 +1,194 @@
+"""Pluggable byte-store backends for the fleet's shared caches.
+
+The result and trace caches are content-addressed (SHA-256 keys over
+the complete input description), which makes sharing them across a
+fleet trivially safe: a key either maps to the one correct byte string
+or to nothing.  A backend is therefore just ``get(key) -> bytes | None``
+/ ``put(key, data)`` — two implementations here:
+
+* :class:`LocalDirBackend` — a directory of ``<key><suffix>`` files
+  with atomic puts; pointed at a shared filesystem it is the
+  many-workers-one-NFS-mount deployment, and its layout matches the
+  native caches' so the coordinator can serve an existing local cache
+  directory over HTTP without conversion.
+* :class:`HTTPCacheBackend` — ``GET``/``PUT /cache/<kind>/<key>``
+  against the fabric coordinator, for workers with no shared disk.
+
+:class:`BackendResultCache` and :class:`BackendTraceCache` adapt a
+backend to the interfaces :class:`~repro.analysis.experiments.
+ExperimentHarness` expects from :class:`~repro.analysis.resultcache.
+ResultCache` and :class:`~repro.traces.tracecache.TraceCache`.  Both
+keep the caches' degradation contract: damaged, torn, or unreachable
+entries read as misses, never as errors — the fleet recomputes and
+heals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..analysis.resultcache import _canonical
+from ..resilience.checkpoint import fsync_dir
+from ..traces.packed import PACKED_FORMAT_VERSION, PackedTrace
+from ..traces.synthetic import SyntheticSpec
+from ..traces.tracecache import TraceCache
+
+
+class LocalDirBackend:
+    """Byte store over a directory of ``<key><suffix>`` files.
+
+    Args:
+        root: The directory (created lazily on first put).
+        suffix: Filename suffix — ``".json"`` for result entries,
+            ``".trace"`` for trace entries — matching the native
+            caches' on-disk layout, so a coordinator can serve its own
+            local cache directories directly.
+    """
+
+    def __init__(self, root: str | Path, suffix: str = "") -> None:
+        self.root = Path(root)
+        self.suffix = suffix
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{self.suffix}"
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            return self._path(key).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, data: bytes) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        fsync_dir(self.root)
+
+
+class HTTPCacheBackend:
+    """Byte store over the coordinator's ``/cache/<kind>/<key>`` routes.
+
+    Args:
+        client: A :class:`~repro.fabric.worker.FabricClient` (its retry
+            budget and backoff apply to every cache exchange).
+        kind: ``"result"`` or ``"trace"``.
+    """
+
+    def __init__(self, client, kind: str) -> None:
+        self.client = client
+        self.kind = kind
+
+    def get(self, key: str) -> bytes | None:
+        status, data = self.client.request(
+            "GET", f"/cache/{self.kind}/{key}", raw=True)
+        return data if status == 200 else None
+
+    def put(self, key: str, data: bytes) -> None:
+        self.client.request("PUT", f"/cache/{self.kind}/{key}",
+                            body=data, raw=True)
+
+
+class BackendResultCache:
+    """Result-record cache over a byte-store backend.
+
+    Duck-types the subset of :class:`~repro.analysis.resultcache.
+    ResultCache` the harness touches (``get``/``put``/counters; keying
+    stays on the ``ResultCache.key_for`` classmethod).  Entries carry
+    the same embedded-digest JSON wrapper as the native cache, and the
+    digest is validated *client-side* — torn or damaged remote bytes,
+    and an unreachable backend, read as misses.
+    """
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str):
+        try:
+            data = self.backend.get(key)
+        except OSError:
+            data = None
+        if data is not None:
+            try:
+                wrapped = json.loads(data)
+                record = wrapped["record"]
+                digest = hashlib.sha256(
+                    _canonical(record).encode("utf-8")).hexdigest()
+                if digest == wrapped["digest"]:
+                    self.hits += 1
+                    return record
+            except (ValueError, KeyError, TypeError):
+                pass
+        self.misses += 1
+        return None
+
+    def put(self, key: str, record) -> None:
+        digest = hashlib.sha256(
+            _canonical(record).encode("utf-8")).hexdigest()
+        payload = json.dumps({"digest": digest, "record": record})
+        self.backend.put(key, payload.encode("utf-8"))
+
+
+class BackendTraceCache(TraceCache):
+    """Packed-trace cache over a byte-store backend.
+
+    Inherits keying, counters, and :meth:`~repro.traces.tracecache.
+    TraceCache.get_or_generate` from the native cache; only the byte
+    transport differs.  Entries use the native single-header-line +
+    payload format, validated client-side; torn or unreachable entries
+    read as misses (no unlink — the backend owns its own healing).
+    """
+
+    def __init__(self, backend) -> None:
+        super().__init__(root=".")     # root unused; keeps counters
+        self.backend = backend
+
+    def get(self, spec: SyntheticSpec, n: int, seed: int
+            ) -> PackedTrace | None:
+        key = self.key_for(spec, n, seed)
+        try:
+            data = self.backend.get(key)
+        except OSError:
+            data = None
+        if data is not None:
+            try:
+                head, _, payload = data.partition(b"\n")
+                header = json.loads(head)
+                digest = hashlib.sha256(payload).hexdigest()
+                if digest == header["digest"] and \
+                        header["count"] * 8 == len(payload):
+                    self.hits += 1
+                    self.bytes_read += len(payload)
+                    return PackedTrace.frombytes(payload)
+            except (ValueError, KeyError, TypeError):
+                pass
+        self.misses += 1
+        return None
+
+    def put(self, spec: SyntheticSpec, n: int, seed: int,
+            trace: PackedTrace) -> None:
+        payload = trace.tobytes()
+        header = json.dumps({
+            "digest": hashlib.sha256(payload).hexdigest(),
+            "count": len(trace),
+            "format": PACKED_FORMAT_VERSION,
+        })
+        self.backend.put(self.key_for(spec, n, seed),
+                         header.encode("utf-8") + b"\n" + payload)
+        self.bytes_written += len(payload)

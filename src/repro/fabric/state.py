@@ -1,0 +1,241 @@
+"""The coordinator's lease table: pure, deterministic, I/O-free.
+
+Everything time-dependent takes ``now`` as an argument and everything
+random derives from the policy seed through
+:func:`~repro.resilience.supervisor.backoff_delay`, so the full lease
+lifecycle — issue, heartbeat, expiry, retry with backoff, quarantine —
+is testable with a fake clock and reproduces exactly across coordinator
+restarts: a restarted coordinator rebuilding its table from the same
+campaign file re-issues the remaining cells in the same order with the
+same retry spacing (pinned by ``tests/test_fabric.py``).
+
+Cell lifecycle::
+
+    pending --lease()--> leased --complete()--> done
+       ^                   |
+       |                   +-- fail() / reclaim_expired() --+
+       |                                                    |
+       +-- (heappush at now + backoff) <-- attempts left ---+
+                                                 |
+                          quarantined <-- budget exhausted -+
+
+Quarantine fires on either budget: ``max_attempts`` total failures, or
+failures on ``quarantine_workers`` *distinct* workers — the fleet-wide
+"this cell is poison, stop feeding it to healthy machines" signal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..resilience.supervisor import Supervision, backoff_delay
+
+
+@dataclass(frozen=True)
+class FabricPolicy:
+    """Lease/retry/quarantine policy of one fabric run.
+
+    Args:
+        lease_s: Wall-clock lease length; a heartbeat extends the
+            deadline by this much, silence past it reclaims the cell.
+        max_attempts: Total failures (of any kind) a cell may accrue
+            before quarantine.
+        quarantine_workers: Distinct workers that must fail a cell to
+            quarantine it fleet-wide regardless of remaining attempts.
+        backoff_base_s: First re-lease delay before jitter.
+        backoff_cap_s: Upper bound on any re-lease delay.
+        seed: Root of the deterministic backoff jitter.
+    """
+
+    lease_s: float = 30.0
+    max_attempts: int = 4
+    quarantine_workers: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 5.0
+    seed: int = 0
+
+    def supervision(self) -> Supervision:
+        """The equivalent supervisor policy (for ``backoff_delay``)."""
+        return Supervision(timeout_s=None,
+                           max_attempts=self.max_attempts,
+                           backoff_base_s=self.backoff_base_s,
+                           backoff_cap_s=self.backoff_cap_s,
+                           seed=self.seed)
+
+
+@dataclass
+class Lease:
+    """One outstanding lease of one cell to one worker."""
+
+    lease_id: str
+    index: int
+    worker: str
+    attempt: int
+    deadline: float
+
+
+@dataclass
+class CellState:
+    """The coordinator's view of one ``design x workload`` cell."""
+
+    index: int
+    key: str
+    attempt: int = 0
+    failures: list[str] = field(default_factory=list)
+    failed_workers: set[str] = field(default_factory=set)
+    status: str = "pending"      # pending | leased | done | quarantined
+
+
+class FabricState:
+    """Lease bookkeeping over an indexed list of cells.
+
+    Args:
+        keys: Cell keys in deterministic cell order (design-major, the
+            order the campaign file emits).
+        policy: Lease/retry/quarantine policy.
+
+    Attributes:
+        cells: Per-cell state, indexed by position in ``keys``.
+        duplicates: Completions received for already-done (or unknown)
+            cells — the reclaimed-cell-finishes-twice count.
+        reclaimed: Leases taken back after their deadline passed.
+    """
+
+    def __init__(self, keys: list[str], policy: FabricPolicy) -> None:
+        self.policy = policy
+        self.cells = [CellState(index=i, key=key)
+                      for i, key in enumerate(keys)]
+        self.duplicates = 0
+        self.reclaimed = 0
+        self._by_key = {cell.key: cell for cell in self.cells}
+        self._leases: dict[str, Lease] = {}
+        # (ready_at, index) min-heap: index breaks ties, so equal-ready
+        # cells lease in deterministic cell order.
+        self._ready: list[tuple[float, int]] = [
+            (0.0, cell.index) for cell in self.cells]
+        heapq.heapify(self._ready)
+
+    # ---- issue ----------------------------------------------------------
+
+    def lease(self, worker: str, now: float) -> Lease | None:
+        """Issue the next ready cell to ``worker``, or None.
+
+        Expired leases are reclaimed first, so a single slow poller
+        still drives the whole reclaim cycle.  None means either
+        nothing is pending (check :attr:`done`) or every pending cell
+        is still serving its backoff delay (check
+        :meth:`next_ready_at`).
+        """
+        self.reclaim_expired(now)
+        while self._ready and self._ready[0][0] <= now:
+            _, index = heapq.heappop(self._ready)
+            cell = self.cells[index]
+            if cell.status != "pending":
+                continue
+            cell.status = "leased"
+            lease = Lease(lease_id=f"{cell.key}#a{cell.attempt}",
+                          index=index, worker=worker,
+                          attempt=cell.attempt,
+                          deadline=now + self.policy.lease_s)
+            cell.attempt += 1
+            self._leases[lease.lease_id] = lease
+            return lease
+        return None
+
+    def heartbeat(self, lease_id: str, now: float) -> bool:
+        """Extend a live lease's deadline; False when it is unknown
+        (expired and reclaimed — the worker should abandon the cell)."""
+        lease = self._leases.get(lease_id)
+        if lease is None:
+            return False
+        lease.deadline = now + self.policy.lease_s
+        return True
+
+    # ---- resolve --------------------------------------------------------
+
+    def complete(self, key: str, lease_id: str, now: float) -> str:
+        """Record a completion; ``"ok"`` or ``"duplicate"``.
+
+        Tolerant by design: an expired or unknown lease id does not
+        reject the result (the work is done and correct — merge on
+        arrival), and a second completion of a done cell is counted as
+        a duplicate, not an error.  Unknown keys (a worker from a
+        previous epoch) also count as duplicates so the caller can drop
+        the payload.
+        """
+        cell = self._by_key.get(key)
+        self._leases.pop(lease_id, None)
+        if cell is None or cell.status in ("done", "quarantined"):
+            self.duplicates += 1
+            return "duplicate"
+        cell.status = "done"
+        return "ok"
+
+    def fail(self, key: str, lease_id: str, worker: str, reason: str,
+             now: float) -> str:
+        """Record a failed attempt; the cell's resulting status."""
+        self._leases.pop(lease_id, None)
+        cell = self._by_key.get(key)
+        if cell is None or cell.status in ("done", "quarantined"):
+            return "ignored" if cell is None else cell.status
+        return self._record_failure(cell, worker, reason, now)
+
+    def _record_failure(self, cell: CellState, worker: str,
+                        reason: str, now: float) -> str:
+        cell.failures.append(reason)
+        cell.failed_workers.add(worker)
+        if (len(cell.failed_workers) >= self.policy.quarantine_workers
+                or len(cell.failures) >= self.policy.max_attempts):
+            cell.status = "quarantined"
+            return "quarantined"
+        cell.status = "pending"
+        delay = backoff_delay(self.policy.supervision(), cell.key,
+                              len(cell.failures) - 1)
+        heapq.heappush(self._ready, (now + delay, cell.index))
+        return "pending"
+
+    def reclaim_expired(self, now: float) -> int:
+        """Fail every lease whose deadline passed; returns the count.
+
+        Iterates in sorted lease-id order so two coordinators replaying
+        the same history reclaim in the same order.
+        """
+        expired = sorted(lease_id
+                         for lease_id, lease in self._leases.items()
+                         if lease.deadline <= now)
+        for lease_id in expired:
+            lease = self._leases.pop(lease_id)
+            cell = self.cells[lease.index]
+            if cell.status != "leased":
+                continue
+            self.reclaimed += 1
+            self._record_failure(
+                cell, lease.worker,
+                f"lease expired after {self.policy.lease_s:g}s on "
+                f"{lease.worker}", now)
+        return len(expired)
+
+    # ---- queries --------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when no cell can make further progress."""
+        return all(cell.status in ("done", "quarantined")
+                   for cell in self.cells)
+
+    def next_ready_at(self) -> float | None:
+        """When the earliest backoff-delayed cell becomes leasable."""
+        while self._ready and \
+                self.cells[self._ready[0][1]].status != "pending":
+            heapq.heappop(self._ready)
+        return self._ready[0][0] if self._ready else None
+
+    def counts(self) -> dict[str, int]:
+        """Cells per status plus the duplicate/reclaim counters."""
+        out = {"pending": 0, "leased": 0, "done": 0, "quarantined": 0}
+        for cell in self.cells:
+            out[cell.status] += 1
+        out["duplicates"] = self.duplicates
+        out["reclaimed"] = self.reclaimed
+        return out

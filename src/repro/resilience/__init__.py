@@ -10,7 +10,8 @@ campaigns *survival*:
   tail recovery, and write-failure absorption for crash-safe
   checkpoint/resume;
 * :mod:`~repro.resilience.faults` — deterministic fault injection
-  (worker crashes/hangs, checkpoint ENOSPC/EIO, on-disk corruption);
+  (worker crashes/hangs, checkpoint ENOSPC/EIO, on-disk corruption,
+  and network faults for the distributed fabric);
 * :mod:`~repro.resilience.chaos` — the seeded scenario harness behind
   ``repro chaos`` that proves all of the above end to end (imported
   lazily; it depends on :mod:`repro.analysis`).
@@ -18,6 +19,7 @@ campaigns *survival*:
 
 from .checkpoint import (
     CheckpointWriter,
+    FileLock,
     atomic_write_bytes,
     fsync_dir,
     recover_jsonl,
@@ -39,6 +41,7 @@ from .supervisor import (
 
 __all__ = [
     "CheckpointWriter",
+    "FileLock",
     "atomic_write_bytes",
     "fsync_dir",
     "recover_jsonl",

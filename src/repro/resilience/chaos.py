@@ -395,6 +395,19 @@ _SCENARIOS: dict[str, Callable[[_Sweep], ChaosCase]] = {
 }
 
 
+def _all_scenarios() -> dict[str, Callable[[_Sweep], ChaosCase]]:
+    """The core table merged with the fleet scenarios.
+
+    The fleet scenarios live in :mod:`repro.fabric.chaos` and are
+    imported lazily: this module is a dependency of the fabric runtime,
+    so a module-level import would be a cycle.
+    """
+    from ..fabric.chaos import FLEET_SCENARIO_TABLE
+    table = dict(_SCENARIOS)
+    table.update(FLEET_SCENARIO_TABLE)
+    return table
+
+
 def run_chaos(scenarios: Sequence[str] | None = None,
               seed: int = 0,
               jobs: int = 2,
@@ -406,8 +419,9 @@ def run_chaos(scenarios: Sequence[str] | None = None,
     """Run the seeded fault-injection sweep.
 
     Args:
-        scenarios: Scenario names (or None/["all"] for
-            :data:`DEFAULT_SCENARIOS`).
+        scenarios: Scenario names (None for :data:`DEFAULT_SCENARIOS`,
+            ``["all"]`` for those plus the distributed fleet scenarios
+            from :mod:`repro.fabric.chaos`).
         seed: Root of every injected-fault decision (reproducible).
         jobs: Supervised workers for the crash/hang scenarios.
         requests: Measured requests of each scenario campaign.
@@ -419,13 +433,15 @@ def run_chaos(scenarios: Sequence[str] | None = None,
     Raises:
         KeyError: on an unknown scenario name.
     """
+    table = _all_scenarios()
     chosen = list(scenarios) if scenarios else list(DEFAULT_SCENARIOS)
     if chosen == ["all"]:
-        chosen = list(DEFAULT_SCENARIOS)
-    unknown = [name for name in chosen if name not in _SCENARIOS]
+        from ..fabric.chaos import FLEET_SCENARIOS
+        chosen = list(DEFAULT_SCENARIOS) + list(FLEET_SCENARIOS)
+    unknown = [name for name in chosen if name not in table]
     if unknown:
         raise KeyError(f"unknown chaos scenario(s): {', '.join(unknown)}; "
-                       f"valid: {', '.join(_SCENARIOS)}")
+                       f"valid: {', '.join(table)}")
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     sweep = _Sweep(seed=seed, jobs=jobs, requests=requests,
@@ -435,7 +451,7 @@ def run_chaos(scenarios: Sequence[str] | None = None,
                  f"{len(sweep.reference.splitlines())} cells")
     cases = []
     for name in chosen:
-        case = _SCENARIOS[name](sweep)
+        case = table[name](sweep)
         cases.append(case)
         if progress is not None:
             status = "ok" if case.passed else "FAIL"

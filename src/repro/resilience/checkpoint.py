@@ -19,6 +19,14 @@ Two failure modes are handled here:
   append (and on :meth:`CheckpointWriter.flush_pending`), so records
   land on disk in the same order they would have without the failure —
   graceful degradation, nothing lost while the process lives.
+* **Concurrent processes.** Two processes sharing one checkpoint file
+  (a fabric coordinator restarted next to a straggling old one, a
+  ``repro db ingest`` compacting while a campaign appends) could
+  interleave :func:`recover_jsonl`'s read-then-replace compaction with
+  an append and silently drop the appended line.  Every append and
+  every compaction therefore holds an advisory :class:`FileLock`
+  (``flock`` on a ``<name>.lock`` sibling; a no-op where ``fcntl`` is
+  unavailable), serialising the two paths.
 
 The :mod:`~repro.resilience.faults` hook lets the chaos harness inject
 write failures deterministically.
@@ -31,7 +39,51 @@ import os
 import tempfile
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 from . import faults
+
+
+class FileLock:
+    """Advisory inter-process lock guarding one shared file.
+
+    The lock is taken with ``flock`` on a sibling ``<name>.lock`` file
+    (never on the guarded file itself — compaction replaces that inode,
+    which would silently drop the lock).  Advisory means every writer
+    must opt in; :func:`recover_jsonl` and :class:`CheckpointWriter` do,
+    so campaign-file compaction and appends from different processes
+    serialise instead of interleaving.  Re-raising platforms without
+    ``fcntl`` degrade to a no-op, matching the previous behaviour.
+    """
+
+    def __init__(self, target: str | Path) -> None:
+        self.path = Path(f"{target}.lock")
+        self._fd: int | None = None
+
+    def __enter__(self) -> "FileLock":
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            return self
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        except OSError:  # pragma: no cover - flock-less filesystem
+            os.close(self._fd)
+            self._fd = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - defensive
+                pass
+            os.close(self._fd)
+            self._fd = None
 
 
 def fsync_dir(path: str | Path) -> None:
@@ -86,31 +138,38 @@ def recover_jsonl(path: str | Path) -> tuple[list[dict], int]:
     the next append produce a run-on line — the file is rewritten
     atomically from the surviving lines.
 
+    The read and the compacting rewrite happen under the file's
+    advisory :class:`FileLock`, so an append racing in from another
+    process (a fabric worker's merge-on-arrival, a second campaign
+    sharing the file) can never land between the read and the replace
+    and be silently discarded.
+
     Returns:
         ``(records, dropped)``: the surviving records in file order and
         the number of damaged lines discarded.
     """
     path = Path(path)
-    raw = path.read_bytes()
     records: list[dict] = []
     good_lines: list[bytes] = []
     dropped = 0
-    for segment in raw.split(b"\n"):
-        if not segment.strip():
-            continue
-        try:
-            record = json.loads(segment)
-        except ValueError:
-            dropped += 1
-            continue
-        if not isinstance(record, dict):
-            dropped += 1
-            continue
-        records.append(record)
-        good_lines.append(segment)
-    if dropped or (raw and not raw.endswith(b"\n")):
-        atomic_write_bytes(path, b"".join(line + b"\n"
-                                          for line in good_lines))
+    with FileLock(path):
+        raw = path.read_bytes()
+        for segment in raw.split(b"\n"):
+            if not segment.strip():
+                continue
+            try:
+                record = json.loads(segment)
+            except ValueError:
+                dropped += 1
+                continue
+            if not isinstance(record, dict):
+                dropped += 1
+                continue
+            records.append(record)
+            good_lines.append(segment)
+        if dropped or (raw and not raw.endswith(b"\n")):
+            atomic_write_bytes(path, b"".join(line + b"\n"
+                                              for line in good_lines))
     return records, dropped
 
 
@@ -143,11 +202,12 @@ class CheckpointWriter:
         faults.checkpoint_error(tag, self._seq)
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
+        with FileLock(self.path):
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
 
     def _drain(self) -> bool:
         """Write pending lines in FIFO order; False on first failure."""
@@ -188,6 +248,8 @@ class CheckpointWriter:
 
     def rewrite(self, records: list[dict]) -> None:
         """Atomically replace the whole file (legacy-format migration)."""
-        atomic_write_bytes(
-            self.path,
-            "".join(json.dumps(r) + "\n" for r in records).encode("utf-8"))
+        with FileLock(self.path):
+            atomic_write_bytes(
+                self.path,
+                "".join(json.dumps(r) + "\n"
+                        for r in records).encode("utf-8"))

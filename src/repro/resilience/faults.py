@@ -17,7 +17,12 @@ Fault kinds:
   per-cell timeout must fire for the campaign to make progress;
 * ``checkpoint`` — checkpoint appends raise ``ENOSPC``/``EIO``, the
   disk-full / flaky-disk case the
-  :class:`~repro.resilience.checkpoint.CheckpointWriter` absorbs.
+  :class:`~repro.resilience.checkpoint.CheckpointWriter` absorbs;
+* ``net_*`` / ``partition_n`` — HTTP-layer faults evaluated by the
+  fabric coordinator's server loop via :meth:`FaultInjector.on_http`:
+  connections dropped before any response, responses delayed, 5xx
+  errors, mid-body disconnects, and a deterministic network partition
+  (the first N matching requests dropped outright, then healed).
 
 Crash and hang faults only ever trigger inside supervised worker
 processes (the supervisor's child loop calls
@@ -66,9 +71,19 @@ class FaultSpec:
         hang_s: Sleep length of an injected hang.
         checkpoint: ENOSPC/EIO rate per checkpoint write attempt.
         match: Substring filter on fault keys (``""`` matches all) —
-            e.g. ``"Banshee::mcf"`` targets one campaign cell.
+            e.g. ``"Banshee::mcf"`` targets one campaign cell, ``"w1"``
+            one fabric worker's HTTP exchanges.
         once: When True, crash/hang faults fire on attempt 0 only, so
             every injected failure is recoverable by a single retry.
+        net_drop: Rate of HTTP connections closed before any response.
+        net_delay: Rate of HTTP responses delayed by ``net_delay_s``.
+        net_delay_s: Length of an injected response delay.
+        net_error: Rate of HTTP exchanges answered with a 500.
+        net_disconnect: Rate of HTTP responses cut mid-body (headers
+            plus a truncated payload, then close).
+        partition_n: Drop the first N matching HTTP requests outright,
+            then heal — a deterministic stand-in for a network
+            partition that ends (no wall-clock in the decision).
     """
 
     seed: int = 0
@@ -78,6 +93,12 @@ class FaultSpec:
     checkpoint: float = 0.0
     match: str = ""
     once: bool = False
+    net_drop: float = 0.0
+    net_delay: float = 0.0
+    net_delay_s: float = 0.25
+    net_error: float = 0.0
+    net_disconnect: float = 0.0
+    partition_n: int = 0
 
     def to_env(self) -> str:
         """The JSON form carried by ``$REPRO_CHAOS``."""
@@ -99,8 +120,11 @@ class FaultInjector:
 
     def __init__(self, spec: FaultSpec) -> None:
         self.spec = spec
-        self.counters: dict[str, int] = {"crash": 0, "hang": 0,
-                                         "checkpoint": 0}
+        self.counters: dict[str, int] = {
+            "crash": 0, "hang": 0, "checkpoint": 0,
+            "net_drop": 0, "net_delay": 0, "net_error": 0,
+            "net_disconnect": 0, "partition": 0}
+        self._partition_left = spec.partition_n
 
     def _roll(self, kind: str, key: str, salt: object) -> float:
         digest = hashlib.sha256(
@@ -129,6 +153,38 @@ class FaultInjector:
         if self._fires("crash", self.spec.crash, key, attempt):
             self.counters["crash"] += 1
             os._exit(CRASH_EXIT)
+
+    def on_http(self, key: str, salt: object) -> str | None:
+        """Server-side HTTP hook: the fault injected into one exchange.
+
+        Called by the fabric coordinator once per request with a key of
+        the shape ``"METHOD /path worker-id"`` (so ``match`` can target
+        one endpoint or one worker) and a monotonically increasing
+        request sequence as salt — a retried request re-rolls.
+
+        Returns:
+            ``None`` (serve normally) or one of ``"drop"`` (close the
+            connection before any response bytes), ``"delay"`` (sleep
+            ``net_delay_s``, then serve), ``"error"`` (respond 500), or
+            ``"disconnect"`` (send the headers plus a truncated body,
+            then close).  While the partition budget lasts, every
+            matching request is dropped unconditionally.
+        """
+        spec = self.spec
+        matched = not spec.match or spec.match in key
+        if self._partition_left > 0 and matched:
+            self._partition_left -= 1
+            self.counters["partition"] += 1
+            return "drop"
+        for kind, rate in (("net_drop", spec.net_drop),
+                           ("net_delay", spec.net_delay),
+                           ("net_error", spec.net_error),
+                           ("net_disconnect", spec.net_disconnect)):
+            if rate > 0.0 and matched \
+                    and self._roll(kind, key, salt) < rate:
+                self.counters[kind] += 1
+                return kind[len("net_"):]
+        return None
 
     def checkpoint_error(self, key: str, salt: int) -> None:
         """Raise ENOSPC or EIO when the roll says a write fails.

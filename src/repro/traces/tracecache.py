@@ -132,27 +132,43 @@ class TraceCache:
 
     # ---- lookup / store -------------------------------------------------
 
+    def _read_entry(self, path: Path) -> bytes:
+        """Read and validate one entry's payload; raises on any damage."""
+        with open(path, "rb") as handle:
+            header = json.loads(handle.readline())
+            payload = handle.read()
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header["digest"] or header["count"] * 8 != \
+                len(payload):
+            raise ValueError("trace digest/count mismatch")
+        return payload
+
     def get(self, spec: SyntheticSpec, n: int, seed: int
             ) -> PackedTrace | None:
         """The stored stream, or None.
 
-        A malformed header, digest mismatch, or wrong request count
-        (corruption, truncation, manual edits) deletes the entry and
+        Damage never surfaces as an error.  A validation failure
+        (malformed header, digest mismatch, wrong request count, torn
+        or empty bytes) is retried once first: when many fleet workers
+        warm one shared store, the failed read may simply have observed
+        a concurrent ``put`` whose final rename had not landed yet, and
+        the retry finds the completed entry instead of destroying it.
+        Only a failure that persists across both reads — genuine
+        corruption, truncation, manual edits — deletes the entry and
         reports a miss so the caller regenerates and heals the cache.
         """
         path = self._path(self.key_for(spec, n, seed))
-        try:
-            with open(path, "rb") as handle:
-                header = json.loads(handle.readline())
-                payload = handle.read()
-            digest = hashlib.sha256(payload).hexdigest()
-            if digest != header["digest"] or header["count"] * 8 != \
-                    len(payload):
-                raise ValueError("trace digest/count mismatch")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
+        payload = None
+        for _ in range(2):
+            try:
+                payload = self._read_entry(path)
+                break
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (ValueError, KeyError, TypeError, OSError):
+                payload = None
+        if payload is None:
             try:
                 path.unlink()
             except OSError:

@@ -393,3 +393,139 @@ class TestKillResume:
         records, dropped = recover_jsonl(path)
         assert dropped == 0
         assert [r["design"] for r in records] == ["Bumblebee"]
+
+
+# ---- advisory file locking ------------------------------------------------
+
+
+FLOCK_PROBE = """
+import fcntl, sys
+handle = open(sys.argv[1], "a+")
+try:
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+except OSError:
+    sys.exit(3)
+sys.exit(0)
+"""
+
+LOCKED_APPEND = """
+import sys
+sys.path.insert(0, sys.argv[2])
+from repro.resilience import CheckpointWriter
+CheckpointWriter(sys.argv[1]).append({"i": 1}, tag="child")
+"""
+
+
+class TestFileLock:
+    def test_lock_held_excludes_other_processes(self, tmp_path):
+        pytest.importorskip("fcntl")
+        from repro.resilience import FileLock
+        target = tmp_path / "c.jsonl"
+        lock_file = f"{target}.lock"
+        with FileLock(target):
+            probe = subprocess.run(
+                [sys.executable, "-c", FLOCK_PROBE, lock_file])
+            assert probe.returncode == 3      # lock observed held
+        probe = subprocess.run(
+            [sys.executable, "-c", FLOCK_PROBE, lock_file])
+        assert probe.returncode == 0          # and released
+
+    def test_append_waits_for_compaction_lock(self, tmp_path):
+        # Regression: recover_jsonl's read-then-replace compaction and a
+        # concurrent CheckpointWriter append must serialise, not
+        # interleave (an append landing between the read and the
+        # replace used to be silently discarded).
+        pytest.importorskip("fcntl")
+        from repro.resilience import FileLock
+        path = tmp_path / "c.jsonl"
+        with FileLock(path):                  # stand in for compaction
+            child = subprocess.Popen(
+                [sys.executable, "-c", LOCKED_APPEND, str(path), SRC])
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline and child.poll() is None:
+                time.sleep(0.05)
+            assert child.poll() is None       # append blocked on lock
+            assert not path.exists()
+        child.wait(timeout=30)
+        records, dropped = recover_jsonl(path)
+        assert ([r["i"] for r in records], dropped) == ([1], 0)
+
+    def test_recover_compacts_under_lock(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(json.dumps({"i": 0}) + "\n" + '{"torn')
+        records, dropped = recover_jsonl(path)
+        assert ([r["i"] for r in records], dropped) == ([0], 1)
+        # The lock sibling exists and is reusable, not the target inode.
+        assert Path(f"{path}.lock").exists()
+        assert path.read_text() == json.dumps({"i": 0}) + "\n"
+
+
+# ---- torn shared-cache entries -------------------------------------------
+
+
+class TestTornCacheReads:
+    def test_trace_cache_torn_put_is_miss_not_error(self, tmp_path):
+        from repro.traces import TraceCache, synthetic_spec
+        from repro.traces.spec import SystemScale
+        spec = synthetic_spec("mcf", SystemScale(1 / 256))
+        cache = TraceCache(tmp_path)
+        trace = cache.get_or_generate(spec, 2000, 9)
+        entry = next(Path(tmp_path).glob("*.trace"))
+        # A concurrent put observed before its final rename: valid
+        # header, payload cut short.
+        entry.write_bytes(entry.read_bytes()[:-16])
+        fresh = TraceCache(tmp_path)
+        assert fresh.get(spec, 2000, 9) is None
+        assert fresh.counters()["misses"] == 1
+        assert not entry.exists()             # poisoned entry dropped
+        assert fresh.get_or_generate(spec, 2000, 9) == trace
+
+    def test_trace_cache_transient_torn_read_retries(self, tmp_path):
+        from repro.traces import TraceCache, synthetic_spec
+        from repro.traces.spec import SystemScale
+        spec = synthetic_spec("mcf", SystemScale(1 / 256))
+        cache = TraceCache(tmp_path)
+        trace = cache.get_or_generate(spec, 2000, 9)
+        fresh = TraceCache(tmp_path)
+        real = fresh._read_entry
+        observed = []
+        def flaky(path):
+            if not observed:                  # first read sees the torn
+                observed.append(path)         # in-flight put
+                raise ValueError("torn concurrent put")
+            return real(path)
+        fresh._read_entry = flaky
+        assert fresh.get(spec, 2000, 9) == trace
+        assert fresh.counters()["hits"] == 1
+        assert next(Path(tmp_path).glob("*.trace")).exists()
+
+    def test_result_cache_torn_put_is_miss_not_error(self, tmp_path):
+        from repro.analysis.resultcache import ResultCache
+        cache = ResultCache(tmp_path)
+        key = "ab" * 32
+        cache.put(key, {"norm_ipc": 1.5})
+        entry = tmp_path / f"{key}.json"
+        entry.write_bytes(entry.read_bytes()[:-8])
+        fresh = ResultCache(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.misses == 1
+        assert not entry.exists()             # poisoned entry dropped
+        cache.put(key, {"norm_ipc": 1.5})     # recompute heals
+        assert fresh.get(key) == {"norm_ipc": 1.5}
+
+    def test_result_cache_transient_torn_read_retries(self, tmp_path):
+        from repro.analysis.resultcache import ResultCache
+        cache = ResultCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"norm_ipc": 0.75})
+        real = cache._read_entry
+        observed = []
+        def flaky(path):
+            if not observed:
+                observed.append(path)
+                raise ValueError("torn concurrent put")
+            return real(path)
+        cache._read_entry = flaky
+        assert cache.get(key) == {"norm_ipc": 0.75}
+        assert (cache.hits, cache.misses) == (1, 0)
+        assert (tmp_path / f"{key}.json").exists()
