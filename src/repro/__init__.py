@@ -29,7 +29,7 @@ from .traces import (
     workload_trace,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ExperimentConfig",

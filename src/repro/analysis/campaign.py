@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import signal
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -270,65 +269,34 @@ class Campaign:
         cells persist their full spec dump alongside the result so a
         resumed campaign reconstructs their keys from disk.
 
-        ``jobs`` > 1 computes the missing cells on a process pool; the
-        persisted records are bit-identical to a serial run.  Each cell
-        is appended (fsync'd) to the campaign file as soon as it — and
-        every cell before it in deterministic cell order — is adopted,
-        so a kill at any instant leaves a resumable prefix.
-
-        ``supervise`` (a
-        :class:`~repro.resilience.supervisor.Supervision`) runs the
-        missing cells under the supervised pool: hung workers are
-        timed out and respawned, crashed workers retried with
-        deterministic backoff, and persistently failing cells
-        quarantined into :attr:`quarantined` instead of aborting the
-        campaign.
-
-        SIGTERM/SIGINT interrupt the fill gracefully: completed cells
-        are flushed and :class:`CampaignInterrupted` is raised with a
-        resume hint.
+        A thin wrapper over the execution plane
+        (:func:`repro.exec.fill_cells`): ``jobs`` > 1 computes missing
+        cells on a process pool (bit-identical to serial), ``supervise``
+        (a :class:`~repro.resilience.supervisor.Supervision`) engages
+        timeouts/retries/quarantine, every cell is appended (fsync'd)
+        in deterministic cell order so a kill at any instant leaves a
+        resumable clean prefix, and SIGTERM/SIGINT raise
+        :class:`CampaignInterrupted` after flushing.
         """
-        from .parallel import run_design_cells
-        missing = [(design, workload)
-                   for design in designs for workload in workloads
-                   if not self.has(design, workload)]
-        if not missing:
-            return 0
-        completed = 0
+        from ..exec.backends import fill_cells
+        from ..exec.plan import enumerate_cells
+        return fill_cells(self, enumerate_cells(designs, workloads),
+                          jobs=jobs, supervise=supervise)
 
-        def persist(design: "str | DesignSpec", workload: str,
-                    comparison: WorkloadComparison) -> None:
-            nonlocal completed
-            if self.persist_comparison(design, workload, comparison):
-                completed += 1
+    def flush_pending(self):
+        """Retry any appends the checkpoint writer had to defer;
+        returns the writer's flush result (records landed)."""
+        return self._writer.flush_pending()
 
-        def quarantine(design: "str | DesignSpec", workload: str,
-                       failure) -> None:
-            self.quarantined.append(QuarantinedCell(
-                getattr(design, "name", design), workload,
-                tuple(failure.attempts)))
+    def record(self, design: "str | DesignSpec",
+               workload: str) -> "dict | None":
+        """The persisted record of one completed cell, or None.
 
-        def _sigterm(signum, frame):
-            raise KeyboardInterrupt
-
-        previous = None
-        try:
-            previous = signal.signal(signal.SIGTERM, _sigterm)
-        except ValueError:      # not the main thread
-            previous = None
-        try:
-            run_design_cells(self.harness, missing, jobs=jobs,
-                             on_result=persist, supervise=supervise,
-                             on_quarantine=quarantine)
-        except KeyboardInterrupt:
-            self._writer.flush_pending()
-            raise CampaignInterrupted(self.path,
-                                      self.completed_cells) from None
-        finally:
-            if previous is not None:
-                signal.signal(signal.SIGTERM, previous)
-            self._writer.flush_pending()
-        return completed
+        The read path of the execution plane: the explorer (and any
+        other plan consumer) sees exactly what was written to disk —
+        identical whichever backend computed the cell.
+        """
+        return self._records.get(_cell_key(design, workload))
 
     def render_quarantine(self) -> str:
         """``[SKIP]`` report lines for every quarantined cell."""

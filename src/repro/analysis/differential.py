@@ -277,36 +277,39 @@ def run_differential(designs: Sequence[str] | None = None,
         vector_epoch: Epoch size for the vectorized leg (None = the
             engine default); small values stress cross-epoch carries.
     """
+    # Case order comes from the execution plane's cell enumeration so
+    # "the n-th sanitize case" is the same design-major coordinate a
+    # campaign would run n-th.
+    from ..exec.plan import enumerate_cells
     designs = list(designs) if designs else list(SANITIZE_DESIGNS)
     hbm_config, dram_config = fitted_devices(scale)
     cases: list[DiffCase] = []
     epochs = 0
     checked = 0
-    for design in designs:
-        for seed in range(seeds):
-            spec = random_spec(seed, hbm_config, dram_config)
-            trace = SyntheticTraceGenerator(
-                spec, seed=derive_seed("differential-trace", seed)
-            ).generate_packed(requests)
-            diffs, violations, checker = _replay_all_paths(
-                design, trace, hbm_config, dram_config, spec.name,
-                warmup, epoch_requests, vector_epoch)
-            epochs += checker.epochs_checked
-            checked += checker.requests_checked
-            case = DiffCase(design=design, seed=seed, workload=spec.name,
-                            requests=requests, diffs=diffs,
-                            violations=violations)
-            if not case.passed:
-                case.reproducer = str(_shrink_and_write(
-                    design, seed, trace, case, hbm_config, dram_config,
-                    warmup, epoch_requests, Path(out_dir), shrink_budget,
-                    shrink_seconds, vector_epoch))
-            cases.append(case)
-            if progress is not None:
-                status = "ok" if case.passed else "FAIL"
-                progress(f"[{status}] {design} seed {seed}: "
-                         f"{len(diffs)} diffs, {len(violations)} "
-                         f"violations")
+    for design, seed in enumerate_cells(designs, range(seeds)):
+        spec = random_spec(seed, hbm_config, dram_config)
+        trace = SyntheticTraceGenerator(
+            spec, seed=derive_seed("differential-trace", seed)
+        ).generate_packed(requests)
+        diffs, violations, checker = _replay_all_paths(
+            design, trace, hbm_config, dram_config, spec.name,
+            warmup, epoch_requests, vector_epoch)
+        epochs += checker.epochs_checked
+        checked += checker.requests_checked
+        case = DiffCase(design=design, seed=seed, workload=spec.name,
+                        requests=requests, diffs=diffs,
+                        violations=violations)
+        if not case.passed:
+            case.reproducer = str(_shrink_and_write(
+                design, seed, trace, case, hbm_config, dram_config,
+                warmup, epoch_requests, Path(out_dir), shrink_budget,
+                shrink_seconds, vector_epoch))
+        cases.append(case)
+        if progress is not None:
+            status = "ok" if case.passed else "FAIL"
+            progress(f"[{status}] {design} seed {seed}: "
+                     f"{len(diffs)} diffs, {len(violations)} "
+                     f"violations")
     return DifferentialReport(cases=cases, epochs_checked=epochs,
                               requests_checked=checked)
 

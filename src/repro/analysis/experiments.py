@@ -598,13 +598,12 @@ class ExperimentHarness:
         ``jobs`` > 1 fans the (variant, workload) cells over processes;
         the aggregates are bit-identical to a serial run.
         """
-        from .parallel import run_design_cells
+        from ..exec.backends import run_cells
+        from ..exec.plan import enumerate_cells
         chosen_workloads = list(workloads or self.config.workloads)
         chosen_variants = list(variants or FIGURE7_VARIANTS)
-        run_design_cells(self, [(variant, workload)
-                                for variant in chosen_variants
-                                for workload in chosen_workloads],
-                         jobs=jobs)
+        run_cells(self, enumerate_cells(chosen_variants,
+                                        chosen_workloads), jobs=jobs)
         out = {}
         for variant in chosen_variants:
             comparisons = [self.run_design(variant, workload)
@@ -623,13 +622,12 @@ class ExperimentHarness:
         """Figures 8(a)-(d): per-MPKI-group normalised IPC / traffic /
         energy for every design.  ``jobs`` > 1 fans the cells over
         processes (results identical to a serial run)."""
-        from .parallel import run_design_cells
+        from ..exec.backends import run_cells
+        from ..exec.plan import enumerate_cells
         chosen_workloads = list(workloads or self.config.workloads)
         chosen_designs = list(designs or FIGURE8_DESIGNS)
-        run_design_cells(self, [(design, workload)
-                                for design in chosen_designs
-                                for workload in chosen_workloads],
-                         jobs=jobs)
+        run_cells(self, enumerate_cells(chosen_designs,
+                                        chosen_workloads), jobs=jobs)
         out: dict[str, dict[str, GroupSummary]] = {}
         for design in chosen_designs:
             comparisons = [self.run_design(design, workload)

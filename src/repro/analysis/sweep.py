@@ -1,28 +1,59 @@
-"""Generic parameter-sweep machinery for ablations beyond the paper.
+"""DEPRECATED single-field sweeps, now a shim over the design registry.
 
-The Figure 6/7 experiments fix most knobs; :func:`sweep_bumblebee` lets a
-user sweep *any* :class:`BumblebeeConfig` field (associativity, hot-queue
-depth, zombie patience, the "most blocks" switch threshold, ...) and get
-the geomean speedup for each value — the tooling behind the ablation
-benches in ``benchmarks/test_ablations.py``.
+The legacy path built raw :class:`BumblebeeConfig` objects per swept
+value and ran them through a bespoke cell runner.  Since the design
+registry landed, :class:`~repro.designs.DesignSpec` grid expansion is
+the only parameterisation surface — ``repro sweep --grid`` for
+exhaustive cross-products, ``repro explore`` for budgeted frontier
+search, and :func:`repro.designs.registry.expand_grid` from code.
+
+:func:`sweep_bumblebee` and :func:`config_with` remain as deprecation
+shims: they emit :class:`DeprecationWarning` and route through
+``DesignSpec`` cells on the execution plane, returning the same
+value -> geomean-speedup mapping as before (simulation results are
+identical — the registry's Bumblebee builder constructs the same
+``BumblebeeConfig``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
+import warnings
 from typing import Any, Iterable, Sequence
 
 from ..core.config import BumblebeeConfig
 from .experiments import ExperimentHarness
 from .metrics import geomean_speedup
 
+_FIELD_NAMES = {f.name for f in dataclasses.fields(BumblebeeConfig)}
+
+
+def _scalar(value: Any) -> Any:
+    """A config value in its spec (JSON-scalar) form."""
+    return value.value if isinstance(value, enum.Enum) else value
+
+
+def _base_overrides(base: BumblebeeConfig) -> dict[str, Any]:
+    """The fields of ``base`` that differ from the defaults."""
+    default = BumblebeeConfig()
+    return {f.name: _scalar(getattr(base, f.name))
+            for f in dataclasses.fields(BumblebeeConfig)
+            if getattr(base, f.name) != getattr(default, f.name)}
+
 
 def config_with(base: BumblebeeConfig, **overrides: Any) -> BumblebeeConfig:
-    """A copy of ``base`` with the given fields replaced.
+    """DEPRECATED: a copy of ``base`` with the given fields replaced.
+
+    Prefer :meth:`~repro.designs.DesignSpec.with_params` on a spec.
 
     Raises:
         TypeError: for an unknown field name.
     """
+    warnings.warn(
+        "config_with is deprecated; parameterise designs through "
+        "DesignSpec.with_params (repro.designs) instead",
+        DeprecationWarning, stacklevel=2)
     return dataclasses.replace(base, **overrides)
 
 
@@ -32,7 +63,13 @@ def sweep_bumblebee(harness: ExperimentHarness, field: str,
                     base: BumblebeeConfig | None = None,
                     jobs: int | None = 1
                     ) -> dict[Any, float]:
-    """Geomean speedup of Bumblebee for each value of one config field.
+    """DEPRECATED: geomean speedup per value of one Bumblebee field.
+
+    Prefer a :func:`~repro.designs.registry.expand_grid` sweep (or
+    ``repro sweep --grid field=v1,v2,...``): this shim now expands the
+    same axis into :class:`~repro.designs.DesignSpec` points and fills
+    them through the execution plane, so results land in the harness
+    caches under spec keys.
 
     Args:
         harness: The shared experiment harness (traces/baselines cached).
@@ -46,16 +83,25 @@ def sweep_bumblebee(harness: ExperimentHarness, field: str,
     Returns:
         Mapping from swept value to geomean normalised IPC.
     """
-    from .parallel import run_bumblebee_cells
-    base = base or BumblebeeConfig()
+    warnings.warn(
+        "sweep_bumblebee is deprecated; expand a DesignSpec grid "
+        "(repro.designs.registry.expand_grid / 'repro sweep' / "
+        "'repro explore') instead", DeprecationWarning, stacklevel=2)
+    if field not in _FIELD_NAMES:
+        raise TypeError(f"unknown BumblebeeConfig field {field!r}")
+    from ..designs import DesignSpec
+    from ..exec.backends import run_cells
+    from ..exec.plan import enumerate_cells
+    overrides = _base_overrides(base) if base is not None else {}
     chosen = list(workloads or harness.config.workloads)
     swept = list(values)
-    cells = [(config_with(base, **{field: value}), workload,
-              f"bee-{field}={value}", None)
-             for value in swept for workload in chosen]
-    comparisons = run_bumblebee_cells(harness, cells, jobs=jobs)
+    specs = [DesignSpec(base="Bumblebee",
+                        params={**overrides, field: _scalar(value)})
+             for value in swept]
+    run_cells(harness, enumerate_cells(specs, chosen), jobs=jobs)
     out: dict[Any, float] = {}
-    for i, value in enumerate(swept):
-        picked = comparisons[i * len(chosen):(i + 1) * len(chosen)]
+    for spec, value in zip(specs, swept):
+        picked = [harness.cached_comparison(spec, workload)
+                  for workload in chosen]
         out[value] = geomean_speedup(picked)
     return out

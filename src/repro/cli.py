@@ -13,6 +13,8 @@ Usage (also via ``python -m repro``)::
     repro designs show Bumblebee
     repro sweep --grid chbm_ratio=0,0.25,0.5,0.75,1.0 \\
                 --grid allocation=dram,hbm,adaptive --jobs 4
+    repro explore --grid chbm_ratio=0,0.25,0.5,0.75,1.0 \\
+                  --grid allocation=dram,hbm,adaptive --budget 40
     repro fabric serve --out fleet.jsonl --once
     repro fabric work http://127.0.0.1:8734
 
@@ -91,6 +93,40 @@ def _add_scaling_args(parser: argparse.ArgumentParser) -> None:
                              "DIR, uses $REPRO_TRACE_CACHE or "
                              "~/.cache/repro-bumblebee/traces; "
                              "'off' disables it")
+
+
+def _add_campaign_args(parser: argparse.ArgumentParser,
+                       out_default: str) -> None:
+    """The shared campaign-file and backend-selection flags.
+
+    ``campaign``, ``sweep``, and ``explore`` all execute through the
+    same plane (:mod:`repro.exec`), so they share one flag surface:
+    output/resume/db/timing plus the backend pickers (``--jobs``,
+    supervision, ``--fabric``) and the window/caching knobs.
+    """
+    parser.add_argument("--out", default=out_default)
+    parser.add_argument("--workloads", nargs="+",
+                        default=["mcf", "wrf", "xz", "roms"])
+    parser.add_argument("--metric", default="norm_ipc")
+    parser.add_argument("--resume", action="store_true",
+                        help="require an existing campaign file and "
+                             "run only the missing cells")
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="also record every cell into this run "
+                             "database (idempotent; see 'repro db')")
+    parser.add_argument("--fabric", metavar="URL", default=None,
+                        help="join a fabric fleet at URL instead of "
+                             "running locally: work leased cells, "
+                             "then mirror the coordinator's campaign "
+                             "file to --out (see 'repro fabric')")
+    parser.add_argument("--no-timing", action="store_true",
+                        dest="no_timing",
+                        help="omit per-cell timing from records, "
+                             "making the campaign file byte-"
+                             "deterministic")
+    _add_supervision_args(parser)
+    _add_window_args(parser)
+    _add_scaling_args(parser)
 
 
 def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
@@ -220,78 +256,96 @@ def _supervision(args: argparse.Namespace):
         seed=args.seed)
 
 
-def _fill_campaign(args: argparse.Namespace, designs,
-                   source: str = "campaign") -> int:
-    """Shared fill/resume/report path of ``campaign`` and ``sweep``.
+def _plan_from_args(args: argparse.Namespace, designs,
+                    source: str = "campaign"):
+    """The :class:`~repro.exec.CellPlan` the shared campaign flags
+    describe: the experiment window, the cell matrix, and every
+    persistence setting (campaign file, caches, run store, resume)."""
+    from .exec import CellPlan
+    config = ExperimentConfig(
+        requests=args.requests, warmup=args.warmup, seed=args.seed,
+        workloads=tuple(args.workloads),
+        trace_cache_dir=getattr(args, "trace_cache", None),
+        engine=getattr(args, "engine", "auto"))
+    return CellPlan(
+        config=config, designs=tuple(designs),
+        workloads=tuple(args.workloads), out=args.out,
+        record_timing=not getattr(args, "no_timing", False),
+        cache_dir=getattr(args, "cache", None),
+        db=getattr(args, "db", None), source=source,
+        resume=bool(getattr(args, "resume", False)))
 
-    ``designs`` mixes registered names and
-    :class:`~repro.designs.DesignSpec` sweep points.  Exit codes: 0
-    complete, 2 bad --resume or a --metric no record carries, 4
-    quarantined cells, 130 interrupted.
+
+def _backend(args: argparse.Namespace):
+    """The :class:`~repro.exec.ExecutionBackend` the shared flags pick.
+
+    ``--fabric URL`` selects the fleet-joining backend; any supervision
+    flag or ``--jobs != 1`` the (supervised) pool; otherwise the serial
+    loop.  Results are identical on every backend — only wall-clock and
+    failure handling differ.
     """
-    from pathlib import Path
+    from .exec import FabricBackend, PoolBackend, SerialBackend
+    url = getattr(args, "fabric", None)
+    if url:
+        return FabricBackend(
+            url, progress=lambda line: print(line, flush=True))
+    supervise = _supervision(args)
+    if supervise is not None or args.jobs != 1:
+        return PoolBackend(jobs=args.jobs, supervise=supervise)
+    return SerialBackend()
 
-    from .analysis import Campaign, CampaignInterrupted
-    if args.resume and not Path(args.out).exists():
-        print(f"--resume: no campaign file at {args.out}",
-              file=sys.stderr)
-        return 2
-    store = None
-    if getattr(args, "db", None):
-        from .observatory import RunStore
-        store = RunStore(args.db)
-    harness = _harness(args, args.workloads)
-    campaign = Campaign(harness, args.out,
-                        record_timing=not getattr(args, "no_timing",
-                                                  False),
-                        store=store, store_source=source)
+
+def _announce_campaign(args: argparse.Namespace, campaign) -> None:
     if campaign.recovered_lines:
         print(f"recovered campaign file: {campaign.recovered_lines} "
               f"damaged line(s) dropped and compacted")
-    if args.resume:
+    if getattr(args, "resume", False):
         print(f"resuming: {campaign.completed_cells} cells already "
               f"complete in {args.out}")
-    try:
-        new_runs = campaign.run(designs, args.workloads,
-                                jobs=args.jobs,
-                                supervise=_supervision(args))
-    except CampaignInterrupted as interrupted:
-        print(f"interrupted: {interrupted.completed} cells persisted in "
-              f"{interrupted.path}; rerun with --resume to continue",
-              file=sys.stderr)
-        return 130
-    print(f"campaign: {campaign.completed_cells} cells complete "
-          f"({new_runs} new) -> {args.out}")
-    if store is not None:
-        # Sweep the file too, so cells persisted by earlier runs (a
-        # --resume) land as well; ingest is idempotent, so the cells
-        # recorded on the fly add nothing twice.
-        store.ingest_jsonl(args.out, source=source)
-        print(f"db: {store.run_count} runs in {args.db}")
+
+
+def _print_timing(campaign) -> None:
     timing = campaign.timing_summary()
-    if timing["cells"]:
-        line = (f"timing: gen {timing['gen_s']:.2f}s + "
-                f"sim {timing['sim_s']:.2f}s over "
-                f"{timing['cells']:.0f} timed cells")
-        if "trace_hits" in timing:
-            line += (f"; trace cache: {timing['trace_hits']:.0f} hits, "
-                     f"{timing['trace_misses']:.0f} misses, "
-                     f"{timing['trace_generated']:.0f} generated, "
-                     f"{timing.get('trace_bytes_read', 0):.0f}B read")
-        if timing.get("engine_vector") or timing.get("engine_scalar"):
-            line += (f"; engines: {timing.get('engine_vector', 0):.0f} "
-                     f"vector / {timing.get('engine_scalar', 0):.0f} "
-                     f"scalar cells "
-                     f"({timing.get('vector_epochs', 0):.0f} vector "
-                     f"epochs)")
-            fallbacks = {key[len("fallback_"):].replace("_", "-"): count
-                         for key, count in sorted(timing.items())
-                         if key.startswith("fallback_") and count}
-            if fallbacks:
-                line += "; fallbacks: " + ", ".join(
-                    f"{reason} x{count:.0f}"
-                    for reason, count in fallbacks.items())
-        print(line)
+    if not timing["cells"]:
+        return
+    line = (f"timing: gen {timing['gen_s']:.2f}s + "
+            f"sim {timing['sim_s']:.2f}s over "
+            f"{timing['cells']:.0f} timed cells")
+    if "trace_hits" in timing:
+        line += (f"; trace cache: {timing['trace_hits']:.0f} hits, "
+                 f"{timing['trace_misses']:.0f} misses, "
+                 f"{timing['trace_generated']:.0f} generated, "
+                 f"{timing.get('trace_bytes_read', 0):.0f}B read")
+    if timing.get("engine_vector") or timing.get("engine_scalar"):
+        line += (f"; engines: {timing.get('engine_vector', 0):.0f} "
+                 f"vector / {timing.get('engine_scalar', 0):.0f} "
+                 f"scalar cells "
+                 f"({timing.get('vector_epochs', 0):.0f} vector "
+                 f"epochs)")
+        fallbacks = {key[len("fallback_"):].replace("_", "-"): count
+                     for key, count in sorted(timing.items())
+                     if key.startswith("fallback_") and count}
+        if fallbacks:
+            line += "; fallbacks: " + ", ".join(
+                f"{reason} x{count:.0f}"
+                for reason, count in fallbacks.items())
+    print(line)
+
+
+def _report_campaign(args: argparse.Namespace, plan, campaign,
+                     new_runs: int, notes=()) -> int:
+    """The uniform post-run summary every backend's campaign gets."""
+    for note in notes:
+        print(note)
+    print(f"campaign: {campaign.completed_cells} cells complete "
+          f"({new_runs} new) -> {plan.out}")
+    if campaign.store is not None:
+        # Sweep the file too, so cells persisted by earlier runs (a
+        # --resume, a fleet mirror) land as well; ingest is idempotent,
+        # so cells recorded on the fly add nothing twice.
+        campaign.store.ingest_jsonl(plan.out, source=plan.source)
+        print(f"db: {campaign.store.run_count} runs in {plan.db}")
+    _print_timing(campaign)
     if (campaign.completed_cells
             and args.metric not in campaign.available_metrics()):
         print(f"--metric {args.metric!r}: no record carries it; "
@@ -307,56 +361,56 @@ def _fill_campaign(args: argparse.Namespace, designs,
     return 0
 
 
-def cmd_campaign(args: argparse.Namespace) -> int:
-    """Fill (or resume) a persisted design x workload result matrix."""
-    if getattr(args, "fabric", None):
-        return _fabric_campaign(args)
-    return _fill_campaign(args, args.designs, source="campaign")
+def _run_plan(args: argparse.Namespace, designs,
+              source: str = "campaign") -> int:
+    """Shared plan/execute/report path of ``campaign`` and ``sweep``.
 
-
-def _fabric_campaign(args: argparse.Namespace) -> int:
-    """``campaign --fabric URL``: join a fleet instead of running
-    locally, then mirror the coordinator's campaign file and render it.
+    ``designs`` mixes registered names and
+    :class:`~repro.designs.DesignSpec` sweep points.  The backend —
+    serial, pool, or fabric fleet — comes from the shared flags; the
+    post-run summary is identical on all of them (same campaign line,
+    db ingest, timing/engine counters, matrix render, and quarantine
+    trailer).  Exit codes: 0 complete, 2 usage (bad --resume, a
+    --metric no record carries, fabric config errors), 3 fabric
+    unreachable, 4 quarantined cells, 130 interrupted.
     """
-    import os
-    from pathlib import Path
-
-    from .analysis import Campaign
-    from .fabric import FabricClient, FabricUnreachable, run_worker
+    from .analysis import CampaignInterrupted
+    from .exec import PlanError
+    from .fabric import FabricUnreachable
+    plan = _plan_from_args(args, designs, source)
     try:
-        completed = run_worker(
-            args.fabric, progress=lambda line: print(line, flush=True))
-        client = FabricClient(args.fabric, f"campaign-cli-{os.getpid()}")
-        status, data = client.request("GET", "/file")
-        state = client.call("GET", "/status")
+        campaign = plan.open_campaign()
+    except PlanError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    _announce_campaign(args, campaign)
+    backend = _backend(args)
+    try:
+        outcome = backend.execute(plan, campaign)
+    except CampaignInterrupted as interrupted:
+        print(f"interrupted: {interrupted.completed} cells persisted in "
+              f"{interrupted.path}; rerun with --resume to continue",
+              file=sys.stderr)
+        return 130
     except FabricUnreachable as exc:
         print(exc, file=sys.stderr)
         return 3
     except RuntimeError as exc:
-        print(exc, file=sys.stderr)
-        return 2
-    if status != 200 or state is None:
-        print(f"--fabric: coordinator at {args.fabric} would not serve "
-              f"its campaign file (HTTP {status})", file=sys.stderr)
-        return 2
-    Path(args.out).write_bytes(data)
-    print(f"campaign: fabric fleet at {args.fabric}; this worker "
-          f"completed {completed} cell(s); mirrored "
-          f"{state['emitted']}/{state['cells']} cells -> {args.out}")
-    harness = _harness(args, args.workloads)
-    campaign = Campaign(harness, args.out,
-                        record_timing=not getattr(args, "no_timing",
-                                                  False))
-    print()
-    print(campaign.render(args.metric))
-    quarantined = state.get("quarantined") or []
-    if quarantined:
-        print()
-        for cell in quarantined:
-            print(f"[SKIP] {cell['design']}::{cell['workload']}: "
-                  f"{'; '.join(cell['attempts'])}")
-        return 4
-    return 0
+        if backend.name == "fabric":
+            # Worker-side configuration errors (version skew, a URL
+            # that is not a coordinator, a refused /file mirror).
+            print(exc, file=sys.stderr)
+            return 2
+        raise
+    finally:
+        backend.close()
+    return _report_campaign(args, plan, outcome.campaign,
+                            outcome.new_runs, outcome.notes)
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Fill (or resume) a persisted design x workload result matrix."""
+    return _run_plan(args, args.designs, source="campaign")
 
 
 def cmd_fabric(args: argparse.Namespace) -> int:
@@ -369,9 +423,8 @@ def cmd_fabric(args: argparse.Namespace) -> int:
 def _cmd_fabric_serve(args: argparse.Namespace) -> int:
     """Lease a campaign's cells to fabric workers over HTTP."""
     import json
-    from pathlib import Path
 
-    from .analysis import Campaign
+    from .exec import PlanError
     from .fabric import FabricCoordinator, FabricPolicy, LocalDirBackend
     from .resilience import faults
     designs = args.designs
@@ -383,24 +436,14 @@ def _cmd_fabric_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(exc, file=sys.stderr)
             return 2
-    if args.resume and not Path(args.out).exists():
-        print(f"--resume: no campaign file at {args.out}",
-              file=sys.stderr)
+    plan = _plan_from_args(args, designs, source="campaign")
+    try:
+        campaign = plan.open_campaign()
+    except PlanError as exc:
+        print(exc, file=sys.stderr)
         return 2
-    store = None
-    if args.db:
-        from .observatory import RunStore
-        store = RunStore(args.db)
-    harness = _harness(args, args.workloads)
-    campaign = Campaign(harness, args.out,
-                        record_timing=not args.no_timing,
-                        store=store, store_source="campaign")
-    if campaign.recovered_lines:
-        print(f"recovered campaign file: {campaign.recovered_lines} "
-              f"damaged line(s) dropped and compacted")
-    if args.resume:
-        print(f"resuming: {campaign.completed_cells} cells already "
-              f"complete in {args.out}")
+    _announce_campaign(args, campaign)
+    harness = campaign.harness
     result_backend = trace_backend = None
     if harness.cache is not None:
         result_backend = LocalDirBackend(harness.cache.root, ".json")
@@ -426,9 +469,9 @@ def _cmd_fabric_serve(args: argparse.Namespace) -> int:
     if injector is not None and any(injector.counters.values()):
         print("fabric: faults " + json.dumps(injector.counters),
               flush=True)
-    if store is not None:
-        store.ingest_jsonl(args.out, source="campaign")
-        print(f"db: {store.run_count} runs in {args.db}")
+    if campaign.store is not None:
+        campaign.store.ingest_jsonl(plan.out, source="campaign")
+        print(f"db: {campaign.store.run_count} runs in {args.db}")
     if campaign.completed_cells:
         print()
         print(campaign.render(args.metric))
@@ -472,7 +515,80 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"sweep: {args.base} over {axes} = {len(specs)} specs x "
           f"{len(args.workloads)} workloads "
           f"({len(specs) * len(args.workloads)} cells)")
-    return _fill_campaign(args, specs, source="sweep")
+    return _run_plan(args, specs, source="sweep")
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Budgeted Pareto-frontier search over a parameter grid.
+
+    Exit codes mirror ``campaign``: 0 complete, 2 usage errors (bad
+    grid/objectives/budget, bad --resume, a backend that cannot run
+    adaptive batches), 4 quarantined cells, 130 interrupted.
+    """
+    from pathlib import Path
+
+    from .analysis import CampaignInterrupted
+    from .exec import (FleetServeBackend, PlanError, explore_frontier,
+                       parse_objectives)
+    tokens = [token for group in args.grid for token in group]
+    try:
+        grid = parse_grid(tokens)
+        specs = registry.expand_grid(args.base, grid)
+        objectives = parse_objectives(args.objectives)
+    except (PlanError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    plan = _plan_from_args(args, specs, source="explore")
+    try:
+        campaign = plan.open_campaign()
+    except PlanError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    _announce_campaign(args, campaign)
+    if args.fabric_serve is not None:
+        backend = FleetServeBackend(
+            host=args.host, port=args.fabric_serve, seed=args.seed,
+            progress=lambda line: print(line, flush=True))
+    else:
+        backend = _backend(args)
+    axes = " x ".join(f"{key}[{len(values)}]"
+                      for key, values in grid.items())
+    budget = "unlimited" if args.budget is None else str(args.budget)
+    print(f"explore: {args.base} over {axes} = {len(specs)} candidate "
+          f"spec(s) x {len(args.workloads)} workloads; objectives "
+          f"{','.join(o.key for o in objectives)}; budget {budget}")
+    try:
+        result = explore_frontier(
+            campaign, backend, specs, args.workloads,
+            objectives=objectives, budget=args.budget, grid=grid,
+            progress=(lambda line: print(line, flush=True))
+            if args.verbose else None)
+    except CampaignInterrupted as interrupted:
+        print(f"interrupted: {interrupted.completed} cells persisted in "
+              f"{interrupted.path}; rerun with --resume to continue",
+              file=sys.stderr)
+        return 130
+    except PlanError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    report = result.render()
+    print(report)
+    if args.report:
+        Path(args.report).write_text(report + "\n")
+        print(f"report -> {args.report}")
+    print(f"explore: {campaign.completed_cells} cells persisted -> "
+          f"{plan.out}")
+    if campaign.store is not None:
+        campaign.store.ingest_jsonl(plan.out, source="explore")
+        print(f"db: {campaign.store.run_count} runs in {plan.db}")
+    _print_timing(campaign)
+    if campaign.quarantined:
+        print()
+        print(campaign.render_quarantine())
+        return 4
+    return 0
 
 
 def cmd_designs(args: argparse.Namespace) -> int:
@@ -771,31 +887,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign", help="fill/resume a persisted result matrix")
-    campaign.add_argument("--out", default="campaign.json")
     campaign.add_argument("--designs", nargs="+",
                           default=list(FIGURE8_DESIGNS))
-    campaign.add_argument("--workloads", nargs="+",
-                          default=["mcf", "wrf", "xz", "roms"])
-    campaign.add_argument("--metric", default="norm_ipc")
-    campaign.add_argument("--resume", action="store_true",
-                          help="require an existing campaign file and "
-                               "run only the missing cells")
-    campaign.add_argument("--db", metavar="PATH", default=None,
-                          help="also record every cell into this run "
-                               "database (idempotent; see 'repro db')")
-    campaign.add_argument("--fabric", metavar="URL", default=None,
-                          help="join a fabric fleet at URL instead of "
-                               "running locally: work leased cells, "
-                               "then mirror the coordinator's campaign "
-                               "file to --out (see 'repro fabric')")
-    campaign.add_argument("--no-timing", action="store_true",
-                          dest="no_timing",
-                          help="omit per-cell timing from records, "
-                               "making the campaign file byte-"
-                               "deterministic")
-    _add_supervision_args(campaign)
-    _add_window_args(campaign)
-    _add_scaling_args(campaign)
+    _add_campaign_args(campaign, out_default="campaign.json")
     campaign.set_defaults(func=cmd_campaign)
 
     sweep = sub.add_parser(
@@ -809,24 +903,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one sweep axis: a declared parameter and "
                             "its values (repeatable; axes cross-"
                             "multiply, last axis varying fastest)")
-    sweep.add_argument("--out", default="sweep.jsonl")
-    sweep.add_argument("--workloads", nargs="+",
-                       default=["mcf", "wrf", "xz", "roms"])
-    sweep.add_argument("--metric", default="norm_ipc")
-    sweep.add_argument("--resume", action="store_true",
-                       help="require an existing sweep file and run "
-                            "only the missing cells")
-    sweep.add_argument("--db", metavar="PATH", default=None,
-                       help="also record every cell into this run "
-                            "database (idempotent; see 'repro db')")
-    sweep.add_argument("--no-timing", action="store_true",
-                       dest="no_timing",
-                       help="omit per-cell timing from records, making "
-                            "the sweep file byte-deterministic")
-    _add_supervision_args(sweep)
-    _add_window_args(sweep)
-    _add_scaling_args(sweep)
+    _add_campaign_args(sweep, out_default="sweep.jsonl")
     sweep.set_defaults(func=cmd_sweep)
+
+    explore = sub.add_parser(
+        "explore",
+        help="budgeted Pareto-frontier search over a parameter grid")
+    explore.add_argument("--base", default="Bumblebee",
+                         help="base design the grid parameterises "
+                              "(see 'repro designs list')")
+    explore.add_argument("--grid", action="append", nargs="+",
+                         required=True, metavar="KEY=V1,V2,...",
+                         help="one search axis: a declared parameter "
+                              "and its ordered values (repeatable; "
+                              "neighbour refinement steps along each "
+                              "axis)")
+    explore.add_argument("--objectives",
+                         default="ipc,hbm_traffic,energy",
+                         help="ordered comma-separated objectives; the "
+                              "first ranks the frontier report (valid: "
+                              "ipc, hbm_traffic, dram_traffic, energy, "
+                              "hit_rate, overfetch)")
+    explore.add_argument("--budget", type=int, default=None,
+                         metavar="N",
+                         help="maximum cells to request (cached and "
+                              "resumed cells count too, keeping the "
+                              "search deterministic; default: "
+                              "unlimited)")
+    explore.add_argument("--report", metavar="PATH", default=None,
+                         help="also write the frontier report to this "
+                              "file")
+    explore.add_argument("--fabric-serve", type=int, default=None,
+                         dest="fabric_serve", metavar="PORT",
+                         help="host a fabric coordinator on PORT "
+                              "(0 = ephemeral) and lease the search's "
+                              "cell batches to attached 'repro fabric "
+                              "work' workers instead of running "
+                              "locally")
+    explore.add_argument("--host", default="127.0.0.1",
+                         help="listen address for --fabric-serve")
+    explore.add_argument("--verbose", action="store_true",
+                         help="print one line per search round")
+    _add_campaign_args(explore, out_default="explore.jsonl")
+    explore.set_defaults(func=cmd_explore)
 
     designs = sub.add_parser(
         "designs", help="inspect the design registry")
@@ -850,7 +969,8 @@ def build_parser() -> argparse.ArgumentParser:
     db_ingest.add_argument("--db", default="runs.db",
                            help="run database (created on first use)")
     db_ingest.add_argument("--source", default=None,
-                           choices=("campaign", "sweep", "chaos"),
+                           choices=("campaign", "sweep", "explore",
+                                    "chaos"),
                            help="source label for JSONL records "
                                 "(default: campaign; BENCH_*.json "
                                 "always lands as 'bench')")

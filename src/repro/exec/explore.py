@@ -1,0 +1,401 @@
+"""Budgeted multi-objective design-space exploration.
+
+``repro explore`` searches a :class:`~repro.designs.DesignSpec` grid
+for the Pareto frontier over several objectives at once — normalised
+IPC up, HBM/DRAM traffic and energy down — while spending strictly
+fewer cells than the exhaustive cross-product when the budget allows:
+
+1. **Successive halving across workload subsets.**  Every candidate is
+   first scored on a prefix of the workload axis (1 workload, then 2,
+   4, ... up to all of them); after each rung only the Pareto
+   non-dominated candidates advance.  Dominated points are pruned
+   before paying for their remaining workloads — the cells the
+   exhaustive sweep would have wasted.
+2. **Adaptive grid refinement.**  Remaining budget goes to the *grid
+   neighbours* of current frontier points (one step along each swept
+   axis), evaluated on the full workload set; newly non-dominated
+   neighbours seed the next refinement round until the neighbourhood
+   is exhausted or the budget runs out.
+
+Every evaluated cell is requested through an
+:class:`~repro.exec.backends.ExecutionBackend` against a plan-opened
+campaign, so the search composes with ``--jobs``, both caches,
+``--resume``, ``--db``, and a hosted worker fleet
+(``--fabric-serve``) exactly like any other campaign — and a repeat
+run with the same seed and budget reproduces the identical frontier
+(results are read back from the campaign's persisted records, never
+from run order).
+
+The budget counts cells *requested* (cached or resumed cells included),
+so the request sequence — and therefore the report — is deterministic
+across resumes and cache states.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .plan import PlanError
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation axis of the search.
+
+    Args:
+        key: CLI name (``ipc``, ``hbm_traffic``, ...).
+        metric: The record field the value is read from.
+        maximize: Direction (False = smaller is better).
+        geomean: Aggregate workloads by geometric mean (ratios) instead
+            of arithmetic mean.
+    """
+
+    key: str
+    metric: str
+    maximize: bool
+    geomean: bool = False
+
+
+#: The searchable objectives; ``--objectives`` picks an ordered subset.
+OBJECTIVES: "dict[str, Objective]" = {
+    "ipc": Objective("ipc", "norm_ipc", maximize=True, geomean=True),
+    "hbm_traffic": Objective("hbm_traffic", "norm_hbm_traffic",
+                             maximize=False),
+    "dram_traffic": Objective("dram_traffic", "norm_dram_traffic",
+                              maximize=False),
+    "energy": Objective("energy", "norm_energy", maximize=False),
+    "hit_rate": Objective("hit_rate", "hbm_hit_rate", maximize=True),
+    "overfetch": Objective("overfetch", "overfetch_fraction",
+                           maximize=False),
+}
+
+DEFAULT_OBJECTIVES = ("ipc", "hbm_traffic", "energy")
+
+
+def parse_objectives(text: str) -> "tuple[Objective, ...]":
+    """``--objectives ipc,hbm_traffic,energy`` -> Objective tuple.
+
+    The first objective ranks the frontier report.
+    """
+    keys = [key.strip() for key in text.split(",") if key.strip()]
+    unknown = [key for key in keys if key not in OBJECTIVES]
+    if unknown or not keys:
+        raise PlanError(
+            f"unknown objective(s): {', '.join(unknown) or '(none)'}; "
+            f"valid: {', '.join(sorted(OBJECTIVES))}")
+    return tuple(OBJECTIVES[key] for key in keys)
+
+
+def dominates(a: "dict[str, float]", b: "dict[str, float]",
+              objectives: "Sequence[Objective]") -> bool:
+    """True when ``a`` is at least as good everywhere and better
+    somewhere."""
+    better = False
+    for objective in objectives:
+        va, vb = a[objective.key], b[objective.key]
+        if not objective.maximize:
+            va, vb = -va, -vb
+        if va < vb:
+            return False
+        if va > vb:
+            better = True
+    return better
+
+
+@dataclass
+class ExplorePoint:
+    """One evaluated candidate and its aggregated objective values."""
+
+    spec: object
+    values: "dict[str, float]"
+    workloads: "tuple[str, ...]"
+    pruned_at: "int | None" = None
+    on_frontier: bool = False
+
+    @property
+    def name(self) -> str:
+        return getattr(self.spec, "name", str(self.spec))
+
+
+def pareto_frontier(points: "Sequence[ExplorePoint]",
+                    objectives: "Sequence[Objective]"
+                    ) -> "list[ExplorePoint]":
+    """The non-dominated subset, preserving input order."""
+    return [point for point in points
+            if not any(dominates(other.values, point.values, objectives)
+                       for other in points if other is not point)]
+
+
+def _aggregate(objective: Objective,
+               values: "Sequence[float]") -> float:
+    if objective.geomean:
+        return math.exp(sum(math.log(max(v, 1e-12)) for v in values)
+                        / len(values))
+    return sum(values) / len(values)
+
+
+def _rung_sizes(total: int) -> "list[int]":
+    """Workload-prefix sizes per halving rung: 1, 2, 4, ..., total."""
+    sizes = []
+    size = 1
+    while size < total:
+        sizes.append(size)
+        size *= 2
+    sizes.append(total)
+    return sizes
+
+
+@dataclass
+class ExploreResult:
+    """The search outcome, renderable as the ranked frontier report."""
+
+    frontier: "list[ExplorePoint]"
+    points: "list[ExplorePoint]"
+    objectives: "tuple[Objective, ...]"
+    workloads: "tuple[str, ...]"
+    cells_requested: int
+    exhaustive_cells: int
+    budget: "int | None"
+    exhausted: bool
+    rungs: "list[tuple[int, int, int]]" = field(default_factory=list)
+    refined: int = 0
+
+    def render(self) -> str:
+        """Deterministic text report (no wall times, no run order)."""
+        budget = "unlimited" if self.budget is None else str(self.budget)
+        lines = [
+            f"explore: {len(self.points)} spec(s) evaluated, "
+            f"{self.cells_requested} of {self.exhaustive_cells} "
+            f"exhaustive cells requested (budget {budget}"
+            f"{', exhausted' if self.exhausted else ''})"]
+        if self.rungs:
+            lines.append("halving: " + " | ".join(
+                f"{survivors}/{entered} survive {size}w"
+                for size, entered, survivors in self.rungs))
+        if self.refined:
+            lines.append(f"refined: {self.refined} grid neighbour(s) "
+                         f"of frontier points")
+        ranker = self.objectives[0]
+        lines.append(f"frontier ({len(self.frontier)} point(s), ranked "
+                     f"by {ranker.key}):")
+        header = f"{'rank':>4}  {'design':<44}"
+        for objective in self.objectives:
+            header += f" {objective.key:>12}"
+        header += f" {'workloads':>9}"
+        lines.append(header)
+        for rank, point in enumerate(self.frontier, start=1):
+            row = f"{rank:>4}  {point.name:<44}"
+            for objective in self.objectives:
+                row += f" {point.values[objective.key]:>12.4f}"
+            row += f" {len(point.workloads):>5}/{len(self.workloads)}"
+            lines.append(row)
+        pruned = [point for point in self.points
+                  if point.pruned_at is not None]
+        if pruned:
+            lines.append("pruned:")
+            for point in pruned:
+                lines.append(
+                    f"  {point.name}: dominated at rung "
+                    f"{point.pruned_at} ({len(point.workloads)} "
+                    f"workload(s) evaluated)")
+        return "\n".join(lines)
+
+
+def explore_frontier(
+        campaign, backend, specs: Sequence, workloads: Sequence[str],
+        objectives: "Sequence[Objective] | None" = None,
+        budget: "int | None" = None,
+        grid: "dict[str, list] | None" = None,
+        progress: "Callable[[str], None] | None" = None) -> ExploreResult:
+    """Run the budgeted frontier search against an open campaign.
+
+    Args:
+        campaign: Plan-opened campaign every cell is persisted into.
+        backend: Any :class:`~repro.exec.backends.ExecutionBackend`
+            whose ``run_cells`` accepts adaptive batches.
+        specs: Candidate designs in deterministic (grid-expansion)
+            order.
+        workloads: Full workload axis; halving rungs take prefixes.
+        objectives: Ordered objectives (default ipc/hbm_traffic/energy);
+            the first ranks the report.
+        budget: Maximum cells to *request* (None = unlimited).  Cached
+            or already-persisted cells count too, keeping the request
+            sequence deterministic across resumes.
+        grid: The swept axes (key -> ordered values) enabling
+            neighbour refinement; None skips refinement.
+        progress: Optional per-round line sink.
+    """
+    if objectives is None:
+        objectives = tuple(OBJECTIVES[key] for key in DEFAULT_OBJECTIVES)
+    objectives = tuple(objectives)
+    workloads = list(workloads)
+    specs = list(dict.fromkeys(specs))
+    if budget is not None and budget < 1:
+        raise PlanError(f"--budget must be >= 1, got {budget}")
+    exhaustive = len(specs) * len(workloads)
+    evaluated: "dict[object, set]" = {}
+    pruned_at: "dict[object, int]" = {}
+    requested = 0
+    exhausted = False
+    rungs: "list[tuple[int, int, int]]" = []
+    refined = 0
+
+    def point_of(spec, over: Sequence[str]) -> "ExplorePoint | None":
+        samples: "dict[str, list[float]]" = \
+            {objective.key: [] for objective in objectives}
+        seen = []
+        for workload in over:
+            record = campaign.record(spec, workload)
+            if record is None:
+                continue
+            row = {objective.key: record.get(objective.metric)
+                   for objective in objectives}
+            if any(value is None for value in row.values()):
+                continue
+            seen.append(workload)
+            for key, value in row.items():
+                samples[key].append(float(value))
+        if not seen:
+            return None
+        values = {objective.key: _aggregate(objective,
+                                            samples[objective.key])
+                  for objective in objectives}
+        return ExplorePoint(spec=spec, values=values,
+                            workloads=tuple(seen))
+
+    def request(batch: "list[tuple]") -> None:
+        nonlocal requested
+        if not batch:
+            return
+        requested += len(batch)
+        backend.run_cells(campaign, batch)
+
+    # ---- stage 1: successive halving over workload prefixes ----------
+    survivors = list(specs)
+    for rung, size in enumerate(_rung_sizes(len(workloads))):
+        rung_workloads = workloads[:size]
+        advancing, batch = [], []
+        for spec in survivors:
+            need = [(spec, workload) for workload in rung_workloads
+                    if workload not in evaluated.get(spec, ())]
+            if (budget is not None
+                    and requested + len(batch) + len(need) > budget):
+                exhausted = True
+                break
+            batch.extend(need)
+            advancing.append(spec)
+        if not advancing:
+            break
+        request(batch)
+        for spec in advancing:
+            evaluated.setdefault(spec, set()).update(rung_workloads)
+        points = [point for point in
+                  (point_of(spec, rung_workloads) for spec in advancing)
+                  if point is not None]
+        front = pareto_frontier(points, objectives)
+        front_specs = {point.spec for point in front}
+        for point in points:
+            if point.spec not in front_specs:
+                pruned_at.setdefault(point.spec, rung)
+        rungs.append((size, len(advancing), len(front)))
+        if progress is not None:
+            progress(f"explore: rung {rung} ({size} workload(s)): "
+                     f"{len(advancing)} candidate(s) -> {len(front)} "
+                     f"non-dominated")
+        survivors = [point.spec for point in front]
+        if exhausted:
+            break
+
+    # ---- stage 2: adaptive refinement around the frontier ------------
+    full = set(workloads)
+
+    def fully_evaluated(spec) -> bool:
+        return evaluated.get(spec, set()) >= full
+
+    def neighbours(spec) -> list:
+        if not hasattr(spec, "with_params"):
+            return []
+        out = []
+        for key, axis in (grid or {}).items():
+            current = spec.param_dict.get(key)
+            if current not in axis:
+                continue
+            position = axis.index(current)
+            for step in (-1, 1):
+                neighbour_pos = position + step
+                if 0 <= neighbour_pos < len(axis):
+                    out.append(spec.with_params(
+                        **{key: axis[neighbour_pos]}))
+        return out
+
+    if grid and not exhausted:
+        frontier_specs = [spec for spec in survivors
+                          if fully_evaluated(spec)]
+        queue = list(frontier_specs)
+        while queue and not exhausted:
+            fresh = []
+            for spec in queue:
+                for candidate in neighbours(spec):
+                    if candidate in evaluated or candidate in fresh:
+                        continue
+                    fresh.append(candidate)
+            if not fresh:
+                break
+            batch, added = [], []
+            for spec in fresh:
+                if (budget is not None and
+                        requested + len(batch) + len(workloads) > budget):
+                    exhausted = True
+                    break
+                batch.extend((spec, workload) for workload in workloads)
+                added.append(spec)
+            if not added:
+                break
+            request(batch)
+            refined += len(added)
+            for spec in added:
+                evaluated.setdefault(spec, set()).update(workloads)
+            full_points = [point for point in
+                           (point_of(spec, workloads)
+                            for spec in evaluated if fully_evaluated(spec))
+                           if point is not None]
+            front_specs = [point.spec
+                           for point in pareto_frontier(full_points,
+                                                        objectives)]
+            if progress is not None:
+                progress(f"explore: refined {len(added)} neighbour(s) "
+                         f"-> frontier {len(front_specs)}")
+            queue = [spec for spec in front_specs if spec in added]
+
+    # ---- final frontier over the deepest-evaluated points ------------
+    final_specs = [spec for spec in evaluated if fully_evaluated(spec)]
+    partial = not final_specs
+    if partial:
+        # Budget ran out before any candidate saw the full axis: rank
+        # what the deepest rung produced rather than returning nothing.
+        final_specs = list(survivors)
+    points = []
+    for spec in evaluated:
+        over = sorted(evaluated[spec], key=workloads.index)
+        point = point_of(spec, over)
+        if point is not None:
+            point.pruned_at = pruned_at.get(spec)
+            points.append(point)
+    candidates = [point for point in points if point.spec in final_specs]
+    frontier = pareto_frontier(candidates, objectives)
+    ranker = objectives[0]
+
+    def rank_key(point: ExplorePoint):
+        value = point.values[ranker.key]
+        return ((-value if ranker.maximize else value), point.name)
+
+    frontier = sorted(frontier, key=rank_key)
+    for point in frontier:
+        point.on_frontier = True
+    return ExploreResult(
+        frontier=frontier, points=points, objectives=objectives,
+        workloads=tuple(workloads), cells_requested=requested,
+        exhaustive_cells=exhaustive, budget=budget,
+        exhausted=exhausted, rungs=rungs, refined=refined)

@@ -92,6 +92,9 @@ class FabricCoordinator:
         result_backend: Optional byte store served at
             ``/cache/result/`` (workers then share result records).
         trace_backend: Optional byte store served at ``/cache/trace/``.
+        hold: Start in adaptive mode: the lease table may begin empty
+            and grows via :meth:`extend`; workers are told to wait
+            (never "done") until :meth:`release` lifts the hold.
 
     Attributes:
         divergent: Duplicate completions whose payload hash differed
@@ -102,9 +105,11 @@ class FabricCoordinator:
 
     def __init__(self, campaign: Campaign, designs, workloads,
                  policy: FabricPolicy | None = None,
-                 result_backend=None, trace_backend=None) -> None:
+                 result_backend=None, trace_backend=None,
+                 hold: bool = False) -> None:
         self.campaign = campaign
         self.policy = policy or FabricPolicy()
+        self.hold = hold
         self.result_backend = result_backend
         self.trace_backend = trace_backend
         self.pending_cells = [(design, workload)
@@ -131,8 +136,13 @@ class FabricCoordinator:
 
     @property
     def finished(self) -> bool:
-        """Every cell resolved *and* emitted to the campaign file."""
-        return (self.state.done
+        """Every cell resolved *and* emitted to the campaign file.
+
+        A held coordinator (adaptive mode) is never finished: more
+        cells may still arrive via :meth:`extend`, so workers are told
+        to wait rather than shut down.
+        """
+        return (not self.hold and self.state.done
                 and self._emitted == len(self.pending_cells))
 
     def _flush(self) -> None:
@@ -158,6 +168,63 @@ class FabricCoordinator:
                 break
             self._emitted += 1
 
+    # ---- adaptive cells (held coordinators) -----------------------------
+
+    def _extend(self, cells) -> None:
+        for design, workload in cells:
+            if self.campaign.has(design, workload):
+                continue
+            key = _cell_key(design, workload)
+            if key in self._index:
+                continue
+            self._index[key] = len(self.pending_cells)
+            self.pending_cells.append((design, workload))
+            self._keys.append(key)
+            self.state.extend([key])
+
+    def extend(self, cells) -> None:
+        """Append (design, workload) cells to the lease table.
+
+        Thread-safe: when the serve loop is running, the mutation is
+        marshalled onto the event loop (every state transition stays
+        single-threaded) and this call blocks until applied.  Cells the
+        campaign already holds, or that are already tracked, are
+        ignored.
+        """
+        cells = list(cells)
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            self._extend(cells)
+            return
+        applied = threading.Event()
+
+        def _apply() -> None:
+            self._extend(cells)
+            applied.set()
+
+        loop.call_soon_threadsafe(_apply)
+        if not applied.wait(timeout=10.0):
+            raise RuntimeError("fabric coordinator did not accept the "
+                               "extended cells")
+
+    def release(self) -> None:
+        """Lift the adaptive hold: no more cells will arrive.
+
+        Once the table drains, the coordinator reports ``done`` to
+        workers and a ``--once`` serve loop winds down after its
+        linger.  Callable from any thread.
+        """
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            self.hold = False
+            return
+        loop.call_soon_threadsafe(lambda: setattr(self, "hold", False))
+
+    def cell_status(self, design, workload) -> "str | None":
+        """The lease-table status of one cell, or None when untracked."""
+        cell = self.state._by_key.get(_cell_key(design, workload))
+        return None if cell is None else cell.status
+
     def summary(self) -> str:
         """The one-line exit summary (parsed by the chaos harness)."""
         counts = self.state.counts()
@@ -180,7 +247,7 @@ class FabricCoordinator:
             if method == "GET" and path == "/status":
                 return self._ok(self._status_payload())
             if method == "GET" and path == "/file":
-                self.campaign._writer.flush_pending()
+                self.campaign.flush_pending()
                 if not self.campaign.path.exists():
                     return 404, b'{"error":"no campaign file"}', \
                         "application/json"
@@ -256,6 +323,11 @@ class FabricCoordinator:
         ready_at = self.state.next_ready_at()
         retry = (max(ready_at - now, 0.05) if ready_at is not None
                  else max(self.policy.lease_s / 4, 0.05))
+        # A held coordinator may be extended with a new batch (or
+        # released) at any moment; keep idle workers polling fast so
+        # they pick it up — and catch the final "done" within linger.
+        if self.hold:
+            retry = min(retry, 0.2)
         return {"status": "wait", "retry_s": min(retry, 1.0)}
 
     def _do_complete(self, payload: dict) -> dict:
@@ -409,7 +481,7 @@ class FabricCoordinator:
                             break
         finally:
             self._flush()
-            self.campaign._writer.flush_pending()
+            self.campaign.flush_pending()
 
     def serve(self, host: str = "127.0.0.1", port: int = 0,
               once: bool = False, announce: bool = True,
@@ -421,10 +493,18 @@ class FabricCoordinator:
                                      linger_s=linger_s))
 
     def request_stop(self) -> None:
-        """Stop the serve loop, callable from any thread."""
+        """Stop the serve loop, callable from any thread.
+
+        A no-op once the loop has already wound down (``once`` mode
+        exits on its own; a closed loop means there is nothing left to
+        stop)."""
         loop, stop = self._loop, self._stop
-        if loop is not None and stop is not None:
+        if loop is None or stop is None or loop.is_closed():
+            return
+        try:
             loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            pass        # closed between the check and the call
 
 
 class CoordinatorThread:
@@ -452,6 +532,12 @@ class CoordinatorThread:
         if not self.coordinator.ready.wait(timeout=10.0):
             raise RuntimeError("fabric coordinator failed to start")
         return self.coordinator.url
+
+    def wait(self, timeout_s: float = 60.0) -> bool:
+        """Wait for the serve loop to end on its own (``once`` mode);
+        True when it did."""
+        self._thread.join(timeout=timeout_s)
+        return not self._thread.is_alive()
 
     def stop(self, timeout_s: float = 10.0) -> None:
         self.coordinator.request_stop()

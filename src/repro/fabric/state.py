@@ -143,6 +143,22 @@ class FabricState:
             return lease
         return None
 
+    def extend(self, keys: "list[str]") -> None:
+        """Append new pending cells to the table (adaptive batches).
+
+        The explorer's hosted fleet discovers its cells as the search
+        narrows; appended cells take the next indices so the emission
+        order stays the order of arrival — deterministic, because the
+        search itself is.  Keys already tracked are ignored.
+        """
+        for key in keys:
+            if key in self._by_key:
+                continue
+            cell = CellState(index=len(self.cells), key=key)
+            self.cells.append(cell)
+            self._by_key[key] = cell
+            heapq.heappush(self._ready, (0.0, cell.index))
+
     def heartbeat(self, lease_id: str, now: float) -> bool:
         """Extend a live lease's deadline; False when it is unknown
         (expired and reclaimed — the worker should abandon the cell)."""

@@ -87,8 +87,10 @@ def _heat_style(value: float, lo: float, hi: float) -> str:
     return f"background: rgba(var(--heat), {0.08 + 0.42 * norm:.3f})"
 
 
-def _matrix_section(store: RunStore, metric: str) -> str:
-    matrix = store.matrix(metric)
+def _matrix_section(store: RunStore, metric: str,
+                    source: str | None = None,
+                    title: str | None = None) -> str:
+    matrix = store.matrix(metric, source=source)
     if not matrix:
         return ""
     workloads = sorted({workload for row in matrix.values()
@@ -109,7 +111,7 @@ def _matrix_section(store: RunStore, metric: str) -> str:
                     f'title="{_esc(design)} / {_esc(workload)}: '
                     f'{value:.4g}">{value:.3f}</td>')
         body.append("<tr>" + "".join(cells) + "</tr>")
-    return (f"<section><h2>{_esc(metric)}</h2>"
+    return (f"<section><h2>{_esc(title or metric)}</h2>"
             f"<p class=\"meta\">design &times; workload "
             f"({len(matrix)} designs, {len(workloads)} workloads; "
             f"range {lo:.3g}&ndash;{hi:.3g})</p>"
@@ -247,7 +249,17 @@ def render_dashboard(store: RunStore, title: str = "repro observatory",
                             for source, count in counts.items()) or "empty"
     sections = [
         _matrix_section(store, metric) for metric in matrices
-    ] + [
+    ]
+    if counts.get("explore"):
+        # Frontier searches record every evaluated cell; their own
+        # matrices show the explored neighbourhood separately from the
+        # exhaustive campaign/sweep grids.
+        sections += [
+            _matrix_section(store, metric, source="explore",
+                            title=f"explore: {metric}")
+            for metric in matrices
+        ]
+    sections += [
         _trend_section(store, metric) for metric in trend_metrics
     ]
     return (

@@ -14,6 +14,11 @@ exactly; artifacts (campaign JSONL files, cache trees) are left under
 ``out_dir`` for post-mortem, same spirit as the differential harness's
 reproducer files.
 
+Scenario campaigns fill through ``Campaign.run``, which since the
+execution-plane refactor delegates to :func:`repro.exec.fill_cells` —
+so every scenario exercises the same orchestration path the CLI
+backends (serial/pool/fabric) use, not a parallel implementation.
+
 Entry points: :func:`run_chaos` (library) and the ``repro chaos`` CLI
 subcommand.
 """
@@ -278,7 +283,7 @@ def _scenario_checkpoint_io(sweep: _Sweep) -> ChaosCase:
         deferred = campaign.deferred_appends
     finally:
         faults.uninstall()
-    flushed = campaign._writer.flush_pending()
+    flushed = campaign.flush_pending()
     detail = (f"{errors} ENOSPC/EIO append failures absorbed, "
               f"{deferred} records held pending, all flushed after "
               f"recovery")

@@ -129,9 +129,13 @@ class TestFittedDevices:
 
 
 class TestSweep:
+    """The legacy single-field sweep API is a deprecation shim over
+    DesignSpec grid expansion on the execution plane."""
+
     def test_config_with_replaces_field(self):
         base = BumblebeeConfig()
-        modified = config_with(base, zombie_patience=99)
+        with pytest.deprecated_call():
+            modified = config_with(base, zombie_patience=99)
         assert modified.zombie_patience == 99
         assert modified.page_bytes == base.page_bytes
 
@@ -140,10 +144,30 @@ class TestSweep:
             config_with(BumblebeeConfig(), nonsense=1)
 
     def test_sweep_returns_one_entry_per_value(self, harness):
-        results = sweep_bumblebee(harness, "zombie_patience", (16, 64),
-                                  workloads=("leela",))
+        with pytest.deprecated_call():
+            results = sweep_bumblebee(harness, "zombie_patience",
+                                      (16, 64), workloads=("leela",))
         assert set(results) == {16, 64}
         assert all(v > 0 for v in results.values())
+
+    def test_sweep_rejects_unknown_field(self, harness):
+        with pytest.raises(TypeError, match="nonsense"):
+            sweep_bumblebee(harness, "nonsense", (1, 2),
+                            workloads=("leela",))
+
+    def test_sweep_matches_design_spec_cells(self, harness):
+        # The shim must route through the same DesignSpec cells the
+        # registry grid produces — identical geomeans, cached results.
+        from repro.analysis.metrics import geomean_speedup
+        from repro.designs import DesignSpec
+        with pytest.deprecated_call():
+            results = sweep_bumblebee(harness, "zombie_patience",
+                                      (16,), workloads=("leela",))
+        spec = DesignSpec(base="Bumblebee",
+                          params={"zombie_patience": 16})
+        direct = geomean_speedup(
+            [harness.cached_comparison(spec, "leela")])
+        assert results[16] == direct
 
 
 class TestReports:

@@ -95,3 +95,69 @@ class TestCommands:
                          "--seeds", "1", "--vector-epoch", bad])
             assert code == 2
             assert "--vector-epoch" in capsys.readouterr().err
+
+
+class TestExecutionPlane:
+    """campaign/sweep/explore share one flag surface and one backend
+    path; the fabric client renders the same summary as a local run."""
+
+    CAMPAIGN = ("--workloads", "leela", "--requests", "600",
+                "--warmup", "150", "--no-timing")
+
+    def test_shared_flags_parse_on_every_plane_command(self):
+        parser = build_parser()
+        for argv in (["campaign"],
+                     ["sweep", "--grid", "chbm_ratio=0,0.5"],
+                     ["explore", "--grid", "chbm_ratio=0,0.5"]):
+            args = parser.parse_args(
+                argv + ["--fabric", "http://127.0.0.1:9", "--jobs", "2",
+                        "--supervise", "--no-timing", "--resume"])
+            assert args.fabric == "http://127.0.0.1:9"
+            assert args.jobs == 2 and args.no_timing and args.resume
+
+    def test_resume_without_file_exits_2(self, capsys, tmp_path):
+        code = main(["campaign", "--out", str(tmp_path / "nope.jsonl"),
+                     "--resume", *self.CAMPAIGN])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_fabric_campaign_summary_matches_local(self, capsys,
+                                                   tmp_path):
+        # The --fabric client must render through the same post-run
+        # path as a local run: the standard campaign line and matrix,
+        # not a bespoke fabric-only summary.
+        from repro import ExperimentConfig, ExperimentHarness
+        from repro.analysis import Campaign
+        from repro.fabric import FabricCoordinator, FabricPolicy
+        from repro.fabric.coordinator import CoordinatorThread
+        config = ExperimentConfig(requests=600, warmup=150,
+                                  workloads=("leela",))
+        served = Campaign(ExperimentHarness(config),
+                          tmp_path / "served.jsonl",
+                          record_timing=False)
+        coordinator = FabricCoordinator(
+            served, ["Bumblebee", "AlloyCache"], ["leela"],
+            policy=FabricPolicy())
+        thread = CoordinatorThread(coordinator, once=True, linger_s=2.0)
+        url = thread.start()
+        try:
+            code, fabric_out = run_cli(
+                capsys, "campaign", "--fabric", url,
+                "--out", str(tmp_path / "mirror.jsonl"),
+                *self.CAMPAIGN)
+        finally:
+            thread.wait(timeout_s=30.0)
+            thread.stop()
+        assert code == 0
+        local_code, local_out = run_cli(
+            capsys, "campaign", "--designs", "Bumblebee", "AlloyCache",
+            "--out", str(tmp_path / "local.jsonl"), *self.CAMPAIGN)
+        assert local_code == 0
+        assert "fabric: fleet at" in fabric_out
+        assert "campaign: 2 cells complete (2 new)" in fabric_out
+        assert "campaign: 2 cells complete (2 new)" in local_out
+        # Identical matrix render, byte-identical campaign files.
+        assert fabric_out[fabric_out.index("\n\n"):] == \
+            local_out[local_out.index("\n\n"):]
+        assert (tmp_path / "mirror.jsonl").read_bytes() == \
+            (tmp_path / "local.jsonl").read_bytes()
